@@ -1,0 +1,178 @@
+// Command tsbench regenerates the tables and figures of the paper's
+// evaluation on the synthetic archive (or a real UCR archive directory).
+//
+// Usage:
+//
+//	tsbench [flags] [experiment ...]
+//
+// Experiments: table2 table3 table4 table5 table6 table7 figure1 figure2
+// figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10, or
+// "all". With no arguments, a summary of available experiments is printed.
+//
+// Flags:
+//
+//	-full          use the full 128-dataset archive configuration
+//	-count N       number of synthetic datasets (default: reduced archive)
+//	-seed N        archive seed (default 1)
+//	-stride N      thin supervised parameter grids by N (default 1 = full)
+//	-archive DIR   load real UCR datasets from DIR instead of synthesizing
+//	-datasets CSV  comma-separated dataset names under -archive
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"table2", "figure2", "figure3", "table3", "figure4", "table4",
+	"table5", "figure5", "figure6", "table6", "figure7", "figure8",
+	"table7", "figure9", "figure10", "figure1", "svm",
+}
+
+func main() {
+	full := flag.Bool("full", false, "use the full 128-dataset archive configuration")
+	count := flag.Int("count", 0, "number of synthetic datasets (0 = default)")
+	seed := flag.Int64("seed", 1, "archive seed")
+	stride := flag.Int("stride", 1, "thin supervised grids by this stride")
+	archiveDir := flag.String("archive", "", "directory with real UCR datasets")
+	datasets := flag.String("datasets", "", "comma-separated dataset names under -archive")
+	jsonPath := flag.String("json", "", "also write structured results as JSON to this file")
+	flag.Parse()
+
+	opts := experiments.Options{GridStride: *stride}
+	switch {
+	case *archiveDir != "":
+		names := strings.Split(*datasets, ",")
+		if *datasets == "" {
+			fmt.Fprintln(os.Stderr, "tsbench: -archive requires -datasets")
+			os.Exit(2)
+		}
+		for _, name := range names {
+			d, err := dataset.LoadUCR(*archiveDir, strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+				os.Exit(1)
+			}
+			opts.Archive = append(opts.Archive, d.ZNormalizeAll())
+		}
+	case *full:
+		opts.Archive = dataset.GenerateArchive(dataset.ArchiveOptions{Seed: *seed, Count: 128})
+	case *count > 0:
+		opts.Archive = dataset.GenerateArchive(dataset.ArchiveOptions{
+			Seed: *seed, Count: *count, MaxLength: 96, MaxTrain: 18, MaxTest: 24,
+		})
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("tsbench: regenerates the paper's tables and figures.")
+		fmt.Println("Available experiments:")
+		for _, e := range experimentOrder {
+			fmt.Println("  " + e)
+		}
+		fmt.Println("  all")
+		return
+	}
+	// Expand "all" wherever it appears, preserving the canonical order.
+	var expanded []string
+	for _, a := range args {
+		if a == "all" {
+			expanded = append(expanded, experimentOrder...)
+		} else {
+			expanded = append(expanded, a)
+		}
+	}
+	args = expanded
+	results := map[string]any{}
+	for _, name := range args {
+		start := time.Now()
+		out, structured, err := run(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+			os.Exit(2)
+		}
+		results[strings.ToLower(name)] = structured
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: marshal results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tsbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[structured results written to %s]\n", *jsonPath)
+	}
+}
+
+// run executes one experiment, returning its rendered text and the
+// structured result for JSON export.
+func run(name string, opts experiments.Options) (string, any, error) {
+	switch strings.ToLower(name) {
+	case "table2":
+		t := experiments.Table2(opts)
+		return t.Render(), t, nil
+	case "table3":
+		t := experiments.Table3(opts)
+		return t.Render(), t, nil
+	case "table4":
+		s := experiments.Table4()
+		return s, s, nil
+	case "table5":
+		t := experiments.Table5(opts)
+		return t.Render(), t, nil
+	case "table6":
+		t := experiments.Table6(opts)
+		return t.Render(), t, nil
+	case "table7":
+		t := experiments.Table7(opts)
+		return t.Render(), t, nil
+	case "figure1":
+		s := experiments.Figure1()
+		return s, s, nil
+	case "figure2":
+		r := experiments.Figure2(opts)
+		return r.Render(), r, nil
+	case "figure3":
+		r := experiments.Figure3(opts)
+		return r.Render(), r, nil
+	case "figure4":
+		r := experiments.Figure4(opts)
+		return r.Render(), r, nil
+	case "figure5":
+		r := experiments.Figure5(opts)
+		return r.Render(), r, nil
+	case "figure6":
+		r := experiments.Figure6(opts)
+		return r.Render(), r, nil
+	case "figure7":
+		r := experiments.Figure7(opts)
+		return r.Render(), r, nil
+	case "figure8":
+		r := experiments.Figure8(opts)
+		return r.Render(), r, nil
+	case "figure9":
+		pts := experiments.Figure9(opts)
+		return experiments.RenderRuntime(pts), pts, nil
+	case "figure10":
+		pts := experiments.Figure10(opts, 0, nil)
+		return experiments.RenderConvergence(pts), pts, nil
+	case "svm":
+		rows := experiments.ExtensionSVM(opts)
+		return experiments.RenderSVM(rows), rows, nil
+	default:
+		return "", nil, fmt.Errorf("unknown experiment %q", name)
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+)
+
+func tinyOpts() experiments.Options {
+	return experiments.Options{
+		Archive: dataset.GenerateArchive(dataset.ArchiveOptions{
+			Seed: 2, Count: 5, MaxLength: 40, MaxTrain: 8, MaxTest: 10,
+		}),
+		GridStride: 10,
+	}
+}
+
+func TestRunDispatchesEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment driver")
+	}
+	opts := tinyOpts()
+	for _, name := range experimentOrder {
+		out, structured, err := run(name, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out == "" {
+			t.Errorf("%s: empty rendering", name)
+		}
+		if structured == nil {
+			t.Errorf("%s: no structured result", name)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, _, err := run("table99", tinyOpts()); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	out, _, err := run("Figure3", tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Lorentzian") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestExperimentOrderCoversAllArtifacts(t *testing.T) {
+	want := []string{
+		"table2", "table3", "table4", "table5", "table6", "table7",
+		"figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+		"figure7", "figure8", "figure9", "figure10", "svm",
+	}
+	have := map[string]bool{}
+	for _, e := range experimentOrder {
+		have[e] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experimentOrder missing %s", w)
+		}
+	}
+	if len(experimentOrder) != len(want) {
+		t.Errorf("experimentOrder has %d entries, want %d", len(experimentOrder), len(want))
+	}
+}

@@ -1,0 +1,236 @@
+// Command tsreport renders the structured JSON written by `tsbench -json`
+// into a standalone HTML page — the repository's analogue of the results
+// website the paper publishes alongside its evaluation.
+//
+// Usage:
+//
+//	tsbench -count 128 -json results.json all
+//	tsreport -in results.json -out results.html
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"html"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	in := flag.String("in", "", "JSON file written by tsbench -json")
+	out := flag.String("out", "", "output HTML file (default: stdout)")
+	title := flag.String("title", "Time-Series Distance Measures — Reproduction Results", "page title")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "tsreport: need -in FILE")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsreport: %v\n", err)
+		os.Exit(1)
+	}
+	var results map[string]any
+	if err := json.Unmarshal(data, &results); err != nil {
+		fmt.Fprintf(os.Stderr, "tsreport: parse %s: %v\n", *in, err)
+		os.Exit(1)
+	}
+	page := Render(*title, results)
+	if *out == "" {
+		fmt.Print(page)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(page), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tsreport: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tsreport: wrote %s\n", *out)
+}
+
+// Render builds the full HTML page from the decoded results map.
+func Render(title string, results map[string]any) string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 70rem; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2.5rem; color: #234; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .9rem; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }
+th { background: #eef; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.better { background: #e8f7e8; }
+tr.worse { background: #fbeaea; }
+pre { background: #f6f6f6; padding: .8rem; overflow-x: auto; font-size: .8rem; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	names := make([]string, 0, len(results))
+	for k := range results {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "<h2>%s</h2>\n", html.EscapeString(name))
+		b.WriteString(renderValue(results[name]))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// renderValue dispatches on the decoded JSON shape: comparison tables,
+// rankings, runtime/convergence point lists, or plain text.
+func renderValue(v any) string {
+	switch t := v.(type) {
+	case string:
+		return "<pre>" + html.EscapeString(t) + "</pre>\n"
+	case map[string]any:
+		if _, ok := t["Rows"]; ok {
+			return renderTable(t)
+		}
+		if _, ok := t["Friedman"]; ok {
+			return renderRanking(t)
+		}
+	case []any:
+		if len(t) > 0 {
+			if first, ok := t[0].(map[string]any); ok {
+				if _, isRuntime := first["Inference"]; isRuntime {
+					return renderPoints(t, []string{"Measure", "Class", "AvgAcc", "Inference"})
+				}
+				if _, isConv := first["TrainSize"]; isConv {
+					return renderPoints(t, []string{"Measure", "TrainSize", "Error"})
+				}
+				if _, isSVM := first["Kernel"]; isSVM {
+					return renderPoints(t, []string{"Kernel", "OneNNAcc", "SVMAcc"})
+				}
+			}
+		}
+	}
+	raw, _ := json.MarshalIndent(v, "", "  ")
+	return "<pre>" + html.EscapeString(string(raw)) + "</pre>\n"
+}
+
+func renderTable(t map[string]any) string {
+	var b strings.Builder
+	if title, ok := t["Title"].(string); ok {
+		fmt.Fprintf(&b, "<p><em>%s</em></p>\n", html.EscapeString(title))
+	}
+	b.WriteString("<table><tr><th>Measure</th><th>Scaling</th><th>Better</th><th>AvgAcc</th><th>&gt;</th><th>=</th><th>&lt;</th><th>p-value</th></tr>\n")
+	rows, _ := t["Rows"].([]any)
+	for _, rv := range rows {
+		r, ok := rv.(map[string]any)
+		if !ok {
+			continue
+		}
+		class := ""
+		marker := "–"
+		if better, _ := r["Better"].(bool); better {
+			class, marker = " class=\"better\"", "yes"
+		} else if worse, _ := r["Worse"].(bool); worse {
+			class, marker = " class=\"worse\"", "worse"
+		}
+		fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%s</td><td>%s</td><td class=\"num\">%.4f</td><td class=\"num\">%.0f</td><td class=\"num\">%.0f</td><td class=\"num\">%.0f</td><td class=\"num\">%.4f</td></tr>\n",
+			class,
+			html.EscapeString(str(r["Measure"])), html.EscapeString(str(r["Scaling"])), marker,
+			num(r["AvgAcc"]), num(r["Wins"]), num(r["Ties"]), num(r["Losses"]), num(r["PValue"]))
+	}
+	if base, ok := t["Baseline"].(map[string]any); ok {
+		mean := meanOf(base["Accs"])
+		fmt.Fprintf(&b, "<tr><td><strong>%s</strong> (baseline)</td><td>%s</td><td>–</td><td class=\"num\">%.4f</td><td>–</td><td>–</td><td>–</td><td>–</td></tr>\n",
+			html.EscapeString(str(base["Measure"])), html.EscapeString(str(base["Scaling"])), mean)
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}
+
+func renderRanking(t map[string]any) string {
+	var b strings.Builder
+	if title, ok := t["Title"].(string); ok {
+		fmt.Fprintf(&b, "<p><em>%s</em></p>\n", html.EscapeString(title))
+	}
+	fr, _ := t["Friedman"].(map[string]any)
+	names, _ := t["Names"].([]any)
+	ranks, _ := fr["AvgRanks"].([]any)
+	type pair struct {
+		name string
+		rank float64
+	}
+	pairs := make([]pair, 0, len(names))
+	for i := range names {
+		if i < len(ranks) {
+			pairs = append(pairs, pair{str(names[i]), num(ranks[i])})
+		}
+	}
+	sort.Slice(pairs, func(a, c int) bool { return pairs[a].rank < pairs[c].rank })
+	fmt.Fprintf(&b, "<p>Friedman χ² = %.3f, p = %.4f, significant = %v; Nemenyi CD = %.4f</p>\n",
+		num(fr["ChiSq"]), num(fr["PValue"]), fr["Significant"], num(fr["CriticalDiff"]))
+	b.WriteString("<table><tr><th>Rank</th><th>Method</th><th>Average rank</th></tr>\n")
+	for i, p := range pairs {
+		fmt.Fprintf(&b, "<tr><td class=\"num\">%d</td><td>%s</td><td class=\"num\">%.3f</td></tr>\n",
+			i+1, html.EscapeString(p.name), p.rank)
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}
+
+func renderPoints(points []any, cols []string) string {
+	var b strings.Builder
+	b.WriteString("<table><tr>")
+	for _, c := range cols {
+		fmt.Fprintf(&b, "<th>%s</th>", html.EscapeString(c))
+	}
+	b.WriteString("</tr>\n")
+	for _, pv := range points {
+		p, ok := pv.(map[string]any)
+		if !ok {
+			continue
+		}
+		b.WriteString("<tr>")
+		for _, c := range cols {
+			switch val := p[c].(type) {
+			case string:
+				fmt.Fprintf(&b, "<td>%s</td>", html.EscapeString(val))
+			case float64:
+				if c == "Inference" {
+					// Nanoseconds from time.Duration JSON encoding.
+					fmt.Fprintf(&b, "<td class=\"num\">%.1f ms</td>", val/1e6)
+				} else if val == float64(int64(val)) && c == "TrainSize" {
+					fmt.Fprintf(&b, "<td class=\"num\">%d</td>", int64(val))
+				} else {
+					fmt.Fprintf(&b, "<td class=\"num\">%.4f</td>", val)
+				}
+			default:
+				fmt.Fprintf(&b, "<td>%v</td>", val)
+			}
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func meanOf(v any) float64 {
+	arr, ok := v.([]any)
+	if !ok || len(arr) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range arr {
+		s += num(x)
+	}
+	return s / float64(len(arr))
+}

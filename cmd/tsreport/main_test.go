@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderTableSection(t *testing.T) {
+	raw := `{
+	  "table5": {
+	    "Title": "Table 5: elastic measures vs NCCc",
+	    "Baseline": {"Measure": "nccc", "Scaling": "-", "Accs": [0.8, 0.9]},
+	    "Rows": [
+	      {"Measure": "msm[c=0.5]", "Scaling": "fixed", "Better": true,
+	       "Worse": false, "AvgAcc": 0.95, "Wins": 10, "Ties": 1, "Losses": 1,
+	       "PValue": 0.001}
+	    ]
+	  }
+	}`
+	var results map[string]any
+	if err := json.Unmarshal([]byte(raw), &results); err != nil {
+		t.Fatal(err)
+	}
+	page := Render("Test Report", results)
+	for _, want := range []string{
+		"<h1>Test Report</h1>", "table5", "msm[c=0.5]", "0.9500",
+		"class=\"better\"", "nccc", "0.8500", "<table>",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestRenderRankingSection(t *testing.T) {
+	raw := `{
+	  "figure6": {
+	    "Title": "Figure 6",
+	    "Names": ["twe/fixed", "nccc/-"],
+	    "Friedman": {"ChiSq": 12.5, "PValue": 0.001, "Significant": true,
+	                 "CriticalDiff": 0.9, "AvgRanks": [1.5, 2.5]}
+	  }
+	}`
+	var results map[string]any
+	if err := json.Unmarshal([]byte(raw), &results); err != nil {
+		t.Fatal(err)
+	}
+	page := Render("R", results)
+	for _, want := range []string{"twe/fixed", "Friedman", "12.500", "0.9000", "1.500"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	// Best rank listed first.
+	if strings.Index(page, "twe/fixed") > strings.Index(page, "nccc/-") {
+		t.Error("ranking rows not sorted by rank")
+	}
+}
+
+func TestRenderPointsAndText(t *testing.T) {
+	raw := `{
+	  "figure9": [
+	    {"Measure": "euclidean", "Class": "O(m)", "AvgAcc": 0.74, "Inference": 3911412}
+	  ],
+	  "figure10": [
+	    {"Measure": "euclidean", "TrainSize": 8, "Error": 0.69}
+	  ],
+	  "svm": [
+	    {"Kernel": "sink[g=5]", "OneNNAcc": 0.87, "SVMAcc": 0.89}
+	  ],
+	  "figure1": "ascii art here"
+	}`
+	var results map[string]any
+	if err := json.Unmarshal([]byte(raw), &results); err != nil {
+		t.Fatal(err)
+	}
+	page := Render("R", results)
+	for _, want := range []string{
+		"euclidean", "3.9 ms", "TrainSize", ">8<", "sink[g=5]",
+		"<pre>ascii art here</pre>",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestRenderUnknownShapeFallsBackToJSON(t *testing.T) {
+	results := map[string]any{"odd": map[string]any{"Weird": 1.0}}
+	page := Render("R", results)
+	if !strings.Contains(page, "Weird") {
+		t.Error("unknown shapes should fall back to raw JSON")
+	}
+}
+
+func TestRenderEscapesHTML(t *testing.T) {
+	results := map[string]any{"x": "<script>alert(1)</script>"}
+	page := Render("<b>T</b>", results)
+	if strings.Contains(page, "<script>") {
+		t.Error("content not escaped")
+	}
+	if strings.Contains(page, "<b>T</b>") {
+		t.Error("title not escaped")
+	}
+}

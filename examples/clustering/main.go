@@ -1,0 +1,134 @@
+// Time-series clustering: one of the headline tasks the paper's
+// introduction motivates. A k-medoids (PAM-style) clusterer is run on top
+// of interchangeable distance measures, showing how the measure choice —
+// not the clustering algorithm — drives quality on misaligned data
+// (the insight behind k-Shape's use of the cross-correlation distance).
+// Quality is scored with the Adjusted Rand Index against the generator's
+// true classes.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	repro "repro"
+)
+
+func main() {
+	d := repro.GenerateDataset(repro.DatasetConfig{
+		Name: "ClusterMe", Family: repro.FamilyHarmonic, Length: 96,
+		NumClasses: 4, TrainSize: 80, TestSize: 4, Seed: 17,
+		NoiseSigma: 0.25, ShiftFrac: 0.15, AmpJitter: 0.2,
+	})
+	series := d.Train
+	truth := d.TrainLabels
+	k := d.NumClasses()
+	fmt.Printf("clustering %d series (length %d) into k=%d clusters\n\n", len(series), d.Length(), k)
+
+	measures := []repro.Measure{
+		repro.Euclidean(),
+		repro.Lorentzian(),
+		repro.SBD(),
+		repro.DTW(10),
+		repro.MSM(0.5),
+	}
+	fmt.Printf("%-14s %-10s\n", "measure", "ARI")
+	for _, m := range measures {
+		dm := repro.DistanceMatrix(m, series, series)
+		labels := kMedoids(dm, k, 25, 7)
+		fmt.Printf("%-14s %-10.4f\n", m.Name(), adjustedRandIndex(labels, truth))
+	}
+	// The real thing: k-Shape, the SBD-centroid algorithm of Paparrizos &
+	// Gravano that the paper credits for reviving sliding measures.
+	res := repro.KShapeRestarts(series, repro.KShapeConfig{K: k, Seed: 7}, 5)
+	fmt.Printf("%-14s %-10.4f (best of 5 restarts, %d iterations)\n",
+		"k-shape", repro.AdjustedRandIndex(res.Labels, truth), res.Iters)
+
+	fmt.Println("\nOn randomly shifted series the alignment-aware measures (SBD, DTW,")
+	fmt.Println("MSM) recover the true classes where lock-step measures cannot —")
+	fmt.Println("the reason cross-correlation powers state-of-the-art clustering.")
+}
+
+// kMedoids is a PAM-style clusterer over a precomputed distance matrix:
+// medoids are seeded deterministically, points are assigned to the nearest
+// medoid, and each medoid is replaced by the member minimizing the
+// within-cluster distance sum until convergence or maxIter.
+func kMedoids(dm [][]float64, k, maxIter int, seed int64) []int {
+	n := len(dm)
+	rng := rand.New(rand.NewSource(seed))
+	medoids := rng.Perm(n)[:k]
+	labels := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		// Assignment step.
+		for i := 0; i < n; i++ {
+			best, bestD := 0, dm[i][medoids[0]]
+			for c := 1; c < k; c++ {
+				if d := dm[i][medoids[c]]; d < bestD {
+					best, bestD = c, d
+				}
+			}
+			labels[i] = best
+		}
+		// Update step: the member with the smallest distance sum becomes
+		// the new medoid.
+		changed := false
+		for c := 0; c < k; c++ {
+			bestMember, bestCost := -1, 0.0
+			for i := 0; i < n; i++ {
+				if labels[i] != c {
+					continue
+				}
+				var cost float64
+				for j := 0; j < n; j++ {
+					if labels[j] == c {
+						cost += dm[i][j]
+					}
+				}
+				if bestMember == -1 || cost < bestCost {
+					bestMember, bestCost = i, cost
+				}
+			}
+			if bestMember >= 0 && bestMember != medoids[c] {
+				medoids[c] = bestMember
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return labels
+}
+
+// adjustedRandIndex scores a clustering against ground-truth labels:
+// 1 = identical partitions, ~0 = chance agreement.
+func adjustedRandIndex(a, b []int) float64 {
+	n := len(a)
+	// Contingency table.
+	table := map[[2]int]int{}
+	rowSum := map[int]int{}
+	colSum := map[int]int{}
+	for i := 0; i < n; i++ {
+		table[[2]int{a[i], b[i]}]++
+		rowSum[a[i]]++
+		colSum[b[i]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	for _, v := range table {
+		sumCells += choose2(v)
+	}
+	for _, v := range rowSum {
+		sumRows += choose2(v)
+	}
+	for _, v := range colSum {
+		sumCols += choose2(v)
+	}
+	total := choose2(n)
+	expected := sumRows * sumCols / total
+	maxIdx := (sumRows + sumCols) / 2
+	if maxIdx == expected {
+		return 0
+	}
+	return (sumCells - expected) / (maxIdx - expected)
+}

@@ -1,0 +1,89 @@
+// End-to-end evaluation study: a miniature of the paper's full pipeline.
+// An archive is generated, elastic measures are tuned per dataset by
+// leave-one-out (the supervised protocol) and compared against the SBD
+// baseline with both statistical tests — the Wilcoxon pairwise comparison
+// and the Friedman/Nemenyi ranking rendered as a critical-difference
+// diagram (the paper's Figures 5/6, debunking M3 and M4).
+package main
+
+import (
+	"fmt"
+
+	repro "repro"
+)
+
+func main() {
+	archive := repro.GenerateArchive(repro.ArchiveOptions{
+		Seed: 9, Count: 14, MaxLength: 80, MaxTrain: 14, MaxTest: 20,
+	})
+	fmt.Printf("archive: %d datasets\n\n", len(archive))
+
+	// Per-dataset accuracies: baseline and three elastic measures under
+	// unsupervised (fixed) parameters.
+	type method struct {
+		name string
+		accs []float64
+	}
+	fixed := []struct {
+		name string
+		m    repro.Measure
+	}{
+		{"nccc (SBD)", repro.SBD()},
+		{"msm c=0.5", repro.MSM(0.5)},
+		{"twe", repro.TWE(1, 0.0001)},
+		{"dtw 10%", repro.DTW(10)},
+		{"lcss", repro.LCSS(5, 0.2)},
+	}
+	var methods []method
+	for _, f := range fixed {
+		accs := make([]float64, len(archive))
+		for i, d := range archive {
+			accs[i] = repro.TestAccuracy(f.m, d, nil)
+		}
+		methods = append(methods, method{f.name, accs})
+	}
+
+	// Supervised DTW: the Table 4 grid tuned by leave-one-out per dataset.
+	supAccs := make([]float64, len(archive))
+	for i, d := range archive {
+		supAccs[i], _ = repro.SupervisedAccuracy(repro.DTWGrid(), d, nil)
+	}
+	methods = append(methods, method{"dtw LOOCV", supAccs})
+
+	// Pairwise Wilcoxon against the baseline (methods[0]).
+	base := methods[0]
+	fmt.Printf("%-12s %-9s %-22s %s\n", "measure", "avg acc", "vs baseline (w/t/l)", "p-value")
+	for _, m := range methods {
+		var sum float64
+		for _, a := range m.accs {
+			sum += a
+		}
+		if m.name == base.name {
+			fmt.Printf("%-12s %-9.4f %-22s %s\n", m.name, sum/float64(len(m.accs)), "baseline", "-")
+			continue
+		}
+		w := repro.Wilcoxon(m.accs, base.accs)
+		verdict := ""
+		if w.PValue < 0.05 && w.WPlus > w.WMinus {
+			verdict = " <- significantly better"
+		}
+		fmt.Printf("%-12s %-9.4f %d/%d/%-16d %.4f%s\n",
+			m.name, sum/float64(len(m.accs)), w.Wins, w.Ties, w.Losses, w.PValue, verdict)
+	}
+
+	// Friedman + Nemenyi over all methods together.
+	scores := make([][]float64, len(archive))
+	names := make([]string, len(methods))
+	for j, m := range methods {
+		names[j] = m.name
+		for i, a := range m.accs {
+			if scores[i] == nil {
+				scores[i] = make([]float64, len(methods))
+			}
+			scores[i][j] = a
+		}
+	}
+	f := repro.Friedman(scores, 0.10)
+	fmt.Printf("\nFriedman chi2=%.3f p=%.4f significant=%v\n", f.ChiSq, f.PValue, f.Significant)
+	fmt.Println(repro.CriticalDifferenceDiagram(names, f.AvgRanks, f.CriticalDiff))
+}

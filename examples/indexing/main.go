@@ -1,0 +1,113 @@
+// Indexed similarity search: the M2 theme of the paper. ED's popularity
+// rests partly on its indexing support (PAA/DFT lower bounds, GEMINI
+// filter-and-refine); this example shows (i) a PAA-lower-bounded ED index
+// pruning most exact computations, and (ii) that MSM — the paper's new
+// best elastic measure — is a metric and therefore exactly indexable with
+// a vantage-point tree, countering the notion that only ED is
+// index-friendly.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	repro "repro"
+)
+
+func main() {
+	// A database of 400 device-load profiles from 4 classes.
+	d := repro.GenerateDataset(repro.DatasetConfig{
+		Name: "IndexDemo", Family: repro.FamilyDevice, Length: 128,
+		NumClasses: 4, TrainSize: 400, TestSize: 40, Seed: 23,
+		NoiseSigma: 0.2, AmpJitter: 0.2,
+	})
+	refs := d.Train
+	queries := d.Test
+	fmt.Printf("database=%d series, queries=%d, length=%d\n\n", len(refs), len(queries), d.Length())
+
+	// (i) GEMINI-style Euclidean search with the PAA lower bound.
+	ix := repro.NewEDIndex(refs, 16)
+	var exact, pruned int
+	start := time.Now()
+	for _, q := range queries {
+		_, _, stats := ix.NN(q)
+		exact += stats.Exact
+		pruned += stats.Pruned
+	}
+	elapsed := time.Since(start)
+	total := len(queries) * len(refs)
+	fmt.Printf("PAA-ED index:   %d/%d exact ED computations (%.1f%% pruned), %v\n",
+		exact, total, 100*float64(total-exact)/float64(total), elapsed.Round(time.Microsecond))
+
+	// Linear-scan baseline for comparison.
+	ed := repro.Euclidean()
+	start = time.Now()
+	for _, q := range queries {
+		best := -1.0
+		for _, r := range refs {
+			if v := ed.Distance(q, r); best < 0 || v < best {
+				best = v
+			}
+		}
+	}
+	fmt.Printf("ED linear scan: %d/%d exact ED computations, %v\n\n",
+		total, total, time.Since(start).Round(time.Microsecond))
+
+	// (ii) iSAX: the tree index of the paper that originated M2. Exact
+	// search verifies only a fraction of the database; approximate search
+	// visits a single leaf.
+	zrefs := make([][]float64, len(refs))
+	for i, r := range refs {
+		zrefs[i] = repro.ZNormalize(r)
+	}
+	isax := repro.NewISAX(d.Length(), 16, 8)
+	for _, r := range zrefs {
+		isax.Insert(r)
+	}
+	var verified int
+	start = time.Now()
+	for _, q := range queries {
+		_, _, v := isax.NN(repro.ZNormalize(q))
+		verified += v
+	}
+	fmt.Printf("iSAX exact:     %d/%d series verified (%.1f%% pruned), %v\n",
+		verified, total, 100*float64(total-verified)/float64(total),
+		time.Since(start).Round(time.Microsecond))
+	start = time.Now()
+	approxOK := 0
+	for _, q := range queries {
+		zq := repro.ZNormalize(q)
+		aBest, aDist := isax.ApproxNN(zq)
+		eBest, eDist, _ := isax.NN(zq)
+		if aBest == eBest || aDist <= eDist*1.25 {
+			approxOK++ // approximate answer within 25% of the true NN
+		}
+	}
+	fmt.Printf("iSAX approx:    %d/%d queries within 1.25x of the true NN\n\n",
+		approxOK, len(queries))
+
+	// (iii) VP-tree over MSM: exact metric indexing of an elastic measure.
+	msm := repro.MSM(0.5)
+	tree := repro.NewVPTree(refs, msm, 1)
+	var treeComputed int
+	start = time.Now()
+	for _, q := range queries {
+		_, _, c := tree.NN(q)
+		treeComputed += c
+	}
+	elapsed = time.Since(start)
+	fmt.Printf("VP-tree (MSM):  %d/%d exact MSM computations (%.1f%% pruned), %v\n",
+		treeComputed, total, 100*float64(total-treeComputed)/float64(total), elapsed.Round(time.Microsecond))
+
+	start = time.Now()
+	for _, q := range queries {
+		best := -1.0
+		for _, r := range refs {
+			if v := msm.Distance(q, r); best < 0 || v < best {
+				best = v
+			}
+		}
+	}
+	fmt.Printf("MSM linear scan: %d/%d exact MSM computations, %v\n",
+		total, total, time.Since(start).Round(time.Microsecond))
+}

@@ -1,0 +1,152 @@
+// Package core ties the five measure categories together into a single
+// registry: every measure of the paper is resolvable by name, annotated
+// with its category and (when tunable) its Table 4 parameter grid. The
+// command-line tools and examples use the registry to select measures
+// without hard-coding the inventory.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/elastic"
+	"repro/internal/embedding"
+	"repro/internal/eval"
+	"repro/internal/kernel"
+	"repro/internal/lockstep"
+	"repro/internal/measure"
+	"repro/internal/sliding"
+)
+
+// Category is one of the paper's five measure categories.
+type Category string
+
+// The five categories of Table 1.
+const (
+	LockStep  Category = "lock-step"
+	Sliding   Category = "sliding"
+	Elastic   Category = "elastic"
+	Kernel    Category = "kernel"
+	Embedding Category = "embedding"
+)
+
+// Entry describes one registered measure.
+type Entry struct {
+	// Name is the registry key (the base name, without parameter suffixes).
+	Name string
+	// Category is the measure's Table 1 category.
+	Category Category
+	// Measure is the default (unsupervised) instance; nil for embeddings,
+	// which require fitting (use NewEmbedder).
+	Measure measure.Measure
+	// Grid is the Table 4 supervised grid; empty Candidates when the
+	// measure is parameter-free.
+	Grid eval.Grid
+}
+
+// registry holds every measure keyed by base name.
+var registry = buildRegistry()
+
+func buildRegistry() map[string]Entry {
+	r := map[string]Entry{}
+	add := func(e Entry) {
+		if _, dup := r[e.Name]; dup {
+			panic(fmt.Sprintf("core: duplicate registry entry %q", e.Name))
+		}
+		r[e.Name] = e
+	}
+	// Lock-step: every measure of the survey inventory, parameter-free
+	// except Minkowski.
+	for _, m := range lockstep.All() {
+		name := baseName(m.Name())
+		e := Entry{Name: name, Category: LockStep, Measure: m}
+		if name == "minkowski" {
+			e.Grid = eval.MinkowskiGrid()
+		}
+		add(e)
+	}
+	// Sliding.
+	for _, m := range sliding.All() {
+		add(Entry{Name: m.Name(), Category: Sliding, Measure: m})
+	}
+	// Elastic: default instances from the unsupervised rows of Table 5.
+	add(Entry{Name: "dtw", Category: Elastic, Measure: elastic.DTW{DeltaPercent: 10}, Grid: eval.DTWGrid()})
+	add(Entry{Name: "lcss", Category: Elastic, Measure: elastic.LCSS{DeltaPercent: 5, Epsilon: 0.2}, Grid: eval.LCSSGrid()})
+	add(Entry{Name: "edr", Category: Elastic, Measure: elastic.EDR{Epsilon: 0.1}, Grid: eval.EDRGrid()})
+	add(Entry{Name: "erp", Category: Elastic, Measure: elastic.ERP{G: 0}, Grid: eval.ERPGrid()})
+	add(Entry{Name: "msm", Category: Elastic, Measure: elastic.MSM{C: 0.5}, Grid: eval.MSMGrid()})
+	add(Entry{Name: "twe", Category: Elastic, Measure: elastic.TWE{Lambda: 1, Nu: 0.0001}, Grid: eval.TWEGrid()})
+	add(Entry{Name: "swale", Category: Elastic, Measure: elastic.Swale{Epsilon: 0.2, P: 5, R: 1}, Grid: eval.SwaleGrid()})
+	// Kernels: defaults from the unsupervised rows of Table 6.
+	add(Entry{Name: "rbf", Category: Kernel, Measure: kernel.RBF{Gamma: 2}, Grid: eval.RBFGrid()})
+	add(Entry{Name: "sink", Category: Kernel, Measure: kernel.SINK{Gamma: 5}, Grid: eval.SINKGrid()})
+	add(Entry{Name: "gak", Category: Kernel, Measure: kernel.GAK{Sigma: 0.1}, Grid: eval.GAKGrid()})
+	add(Entry{Name: "kdtw", Category: Kernel, Measure: kernel.KDTW{Gamma: 0.125}, Grid: eval.KDTWGrid()})
+	// Embeddings: measures require fitting; registered without an instance.
+	for _, name := range []string{"grail", "rws", "spiral", "sidl"} {
+		add(Entry{Name: name, Category: Embedding})
+	}
+	return r
+}
+
+// baseName strips a parameter suffix: "minkowski[p=0.5]" -> "minkowski".
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '['); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Lookup resolves a measure entry by base name (case-insensitive).
+func Lookup(name string) (Entry, error) {
+	e, ok := registry[strings.ToLower(name)]
+	if !ok {
+		return Entry{}, fmt.Errorf("core: unknown measure %q (see Names())", name)
+	}
+	return e, nil
+}
+
+// Names returns all registered base names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByCategory returns the entries of one category, sorted by name.
+func ByCategory(c Category) []Entry {
+	var out []Entry
+	for _, e := range registry {
+		if e.Category == c {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Categories returns the five categories in the paper's order.
+func Categories() []Category {
+	return []Category{LockStep, Sliding, Elastic, Kernel, Embedding}
+}
+
+// NewEmbedder instantiates an embedding measure's embedder by name at the
+// paper's recommended parameters, with the given seed.
+func NewEmbedder(name string, seed int64) (embedding.Embedder, error) {
+	switch strings.ToLower(name) {
+	case "grail":
+		return &embedding.GRAIL{Gamma: 5, Seed: seed}, nil
+	case "rws":
+		return &embedding.RWS{Gamma: 1, DMax: 25, Seed: seed}, nil
+	case "spiral":
+		return &embedding.SPIRAL{Seed: seed}, nil
+	case "sidl":
+		return &embedding.SIDL{Lambda: 0.1, R: 0.25, Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown embedding %q", name)
+	}
+}

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// ReadTSV parses one split in the UCR tab-separated format: one series per
+// line, the first field being the integer class label, the remaining fields
+// the observations. Empty fields and "NaN" become NaN (later interpolated).
+// Both tabs and commas are accepted as separators, matching the two layouts
+// found in archive releases.
+func ReadTSV(r io.Reader) (series [][]float64, labels []int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		sep := "\t"
+		if !strings.Contains(text, "\t") {
+			sep = ","
+		}
+		fields := strings.Split(text, sep)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("dataset: line %d: need a label and at least one value", line)
+		}
+		labelFloat, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d: bad label %q: %v", line, fields[0], err)
+		}
+		s := make([]float64, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			f = strings.TrimSpace(f)
+			if f == "" || strings.EqualFold(f, "nan") {
+				s = append(s, math.NaN())
+				continue
+			}
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d: bad value %q: %v", line, f, err)
+			}
+			s = append(s, v)
+		}
+		series = append(series, s)
+		labels = append(labels, int(labelFloat))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataset: scan: %v", err)
+	}
+	return series, labels, nil
+}
+
+// WriteTSV writes series in the UCR tab-separated format.
+func WriteTSV(w io.Writer, series [][]float64, labels []int) error {
+	if len(series) != len(labels) {
+		return fmt.Errorf("dataset: %d series, %d labels", len(series), len(labels))
+	}
+	bw := bufio.NewWriter(w)
+	for i, s := range series {
+		if _, err := fmt.Fprintf(bw, "%d", labels[i]); err != nil {
+			return err
+		}
+		for _, v := range s {
+			var field string
+			if math.IsNaN(v) {
+				field = "NaN"
+			} else {
+				field = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if _, err := bw.WriteString("\t" + field); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadUCR loads a UCR-archive dataset directory laid out as
+// dir/Name/Name_TRAIN.tsv and dir/Name/Name_TEST.tsv, applying the paper's
+// preprocessing: missing values filled by linear interpolation and all
+// series resampled to the longest length in the dataset.
+func LoadUCR(dir, name string) (*Dataset, error) {
+	load := func(split string) ([][]float64, []int, error) {
+		path := filepath.Join(dir, name, fmt.Sprintf("%s_%s.tsv", name, split))
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		return ReadTSV(f)
+	}
+	train, trainLabels, err := load("TRAIN")
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load %s train: %w", name, err)
+	}
+	test, testLabels, err := load("TEST")
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load %s test: %w", name, err)
+	}
+	d := &Dataset{Name: name, Train: train, TrainLabels: trainLabels, Test: test, TestLabels: testLabels}
+	normalizeLengths(d)
+	return d, nil
+}
+
+// SaveUCR writes the dataset in the UCR directory layout under dir.
+func SaveUCR(dir string, d *Dataset) error {
+	base := filepath.Join(dir, d.Name)
+	if err := os.MkdirAll(base, 0o755); err != nil {
+		return err
+	}
+	write := func(split string, series [][]float64, labels []int) error {
+		path := filepath.Join(base, fmt.Sprintf("%s_%s.tsv", d.Name, split))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return WriteTSV(f, series, labels)
+	}
+	if err := write("TRAIN", d.Train, d.TrainLabels); err != nil {
+		return err
+	}
+	return write("TEST", d.Test, d.TestLabels)
+}
+
+// normalizeLengths fills missing values and resamples every series to the
+// longest length found in either split.
+func normalizeLengths(d *Dataset) {
+	maxLen := 0
+	for _, s := range d.Train {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	for _, s := range d.Test {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+	}
+	fix := func(series [][]float64) {
+		for i, s := range series {
+			s = FillMissing(s)
+			if len(s) != maxLen {
+				s = Resample(s, maxLen)
+			}
+			series[i] = s
+		}
+	}
+	fix(d.Train)
+	fix(d.Test)
+}

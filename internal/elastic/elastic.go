@@ -1,0 +1,387 @@
+// Package elastic implements the 7 elastic distance measures of Section 7
+// of the paper: DTW with the Sakoe-Chiba band, LCSS, EDR, ERP, MSM, TWE,
+// and Swale. Elastic measures create a non-linear mapping between series by
+// dynamic programming over the m-by-m cost matrix, allowing regions to
+// stretch or shrink; all run in O(m^2) time (O(w*m) with a band) and O(m)
+// memory via two-row DP. The package also provides the LB_Keogh lower
+// bound used by the DTW pruning ablation.
+package elastic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/measure"
+)
+
+// windowSize converts a Sakoe-Chiba window expressed as a percentage of the
+// series length (the paper's convention: delta = 10 means 10% of m;
+// delta >= 100 means an unconstrained band) into an absolute band width.
+func windowSize(deltaPercent int, m int) int {
+	if deltaPercent >= 100 {
+		return m
+	}
+	w := deltaPercent * m / 100
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// DTW is Dynamic Time Warping with a Sakoe-Chiba band. DeltaPercent is the
+// band half-width as a percentage of the series length (Table 4's grid);
+// 100 disables the constraint. The point cost is the squared difference and
+// the accumulated value is returned without a final square root, following
+// the UCR-suite convention (1-NN ordering is unaffected).
+type DTW struct {
+	DeltaPercent int
+}
+
+// Name implements measure.Measure.
+func (d DTW) Name() string { return fmt.Sprintf("dtw[d=%d]", d.DeltaPercent) }
+
+// Distance implements measure.Measure.
+func (d DTW) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	w := windowSize(d.DeltaPercent, m)
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := i - w
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + w
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			c := x[i-1] - y[j-1]
+			best := prev[j-1] // diagonal
+			if prev[j] < best {
+				best = prev[j] // insertion
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = c*c + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// LBKeogh returns the LB_Keogh lower bound of DTW(x, y) for a band of
+// absolute half-width w: the squared exceedance of x outside the upper and
+// lower envelopes of y. It never exceeds the corresponding DTW value, and
+// backs the pruning ablation benchmark.
+func LBKeogh(x, y []float64, w int) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	var s float64
+	for i := 0; i < m; i++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		jlo := i - w
+		if jlo < 0 {
+			jlo = 0
+		}
+		jhi := i + w
+		if jhi > m-1 {
+			jhi = m - 1
+		}
+		for j := jlo; j <= jhi; j++ {
+			if y[j] < lo {
+				lo = y[j]
+			}
+			if y[j] > hi {
+				hi = y[j]
+			}
+		}
+		switch {
+		case x[i] > hi:
+			d := x[i] - hi
+			s += d * d
+		case x[i] < lo:
+			d := x[i] - lo
+			s += d * d
+		}
+	}
+	return s
+}
+
+// LCSS is the Longest Common Subsequence distance: points match when they
+// differ by at most Epsilon and their indexes by at most the band; the
+// distance is 1 - L/min(m, n) where L is the longest common subsequence.
+type LCSS struct {
+	DeltaPercent int     // band as a percentage of the length (Table 4: {5, 10})
+	Epsilon      float64 // matching threshold
+}
+
+// Name implements measure.Measure.
+func (l LCSS) Name() string { return fmt.Sprintf("lcss[d=%d,e=%g]", l.DeltaPercent, l.Epsilon) }
+
+// Distance implements measure.Measure.
+func (l LCSS) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	w := windowSize(l.DeltaPercent, m)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for i := 1; i <= m; i++ {
+		for j := range cur {
+			cur[j] = 0
+		}
+		lo := i - w
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + w
+		if hi > m {
+			hi = m
+		}
+		for j := lo; j <= hi; j++ {
+			if math.Abs(x[i-1]-y[j-1]) <= l.Epsilon {
+				cur[j] = prev[j-1] + 1
+			} else {
+				cur[j] = math.Max(prev[j], cur[j-1])
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return 1 - prev[m]/float64(m)
+}
+
+// EDR is the Edit Distance on Real sequence: a unit-cost edit distance
+// where two points match (cost 0) when they differ by at most Epsilon, and
+// every gap or mismatch costs 1. The raw edit count is returned (series are
+// equal-length after preprocessing, so normalization is a constant factor).
+type EDR struct {
+	Epsilon float64
+}
+
+// Name implements measure.Measure.
+func (e EDR) Name() string { return fmt.Sprintf("edr[e=%g]", e.Epsilon) }
+
+// Distance implements measure.Measure.
+func (e EDR) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = float64(j)
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = float64(i)
+		for j := 1; j <= m; j++ {
+			subCost := 1.0
+			if math.Abs(x[i-1]-y[j-1]) <= e.Epsilon {
+				subCost = 0
+			}
+			best := prev[j-1] + subCost
+			if v := prev[j] + 1; v < best {
+				best = v
+			}
+			if v := cur[j-1] + 1; v < best {
+				best = v
+			}
+			cur[j] = best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// ERP is the Edit distance with Real Penalty: gaps are penalized by the
+// distance to a constant gap value g (0 here, the standard choice for
+// z-normalized data), which makes ERP a metric and, with g fixed,
+// parameter-free — the only such elastic measure in Table 5.
+type ERP struct {
+	G float64
+}
+
+// Name implements measure.Measure.
+func (e ERP) Name() string { return "erp" }
+
+// Distance implements measure.Measure.
+func (e ERP) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	prev[0] = 0
+	for j := 1; j <= m; j++ {
+		prev[j] = prev[j-1] + math.Abs(y[j-1]-e.G)
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = prev[0] + math.Abs(x[i-1]-e.G)
+		for j := 1; j <= m; j++ {
+			match := prev[j-1] + math.Abs(x[i-1]-y[j-1])
+			gapX := prev[j] + math.Abs(x[i-1]-e.G)
+			gapY := cur[j-1] + math.Abs(y[j-1]-e.G)
+			cur[j] = math.Min(match, math.Min(gapX, gapY))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// MSM is the Move-Split-Merge distance (Stefan, Athitsos, Das 2013): an
+// edit-style measure built from move (substitute), split, and merge
+// operations, each costing C. Unlike DTW, LCSS, and EDR, MSM is a metric.
+type MSM struct {
+	C float64 // cost of a split or merge operation (Table 4's grid)
+}
+
+// Name implements measure.Measure.
+func (m MSM) Name() string { return fmt.Sprintf("msm[c=%g]", m.C) }
+
+// msmCost is the split/merge cost C(new, a, b): c when new lies between a
+// and b, otherwise c plus the distance to the nearer endpoint.
+func (m MSM) msmCost(newPoint, a, b float64) float64 {
+	if (a <= newPoint && newPoint <= b) || (b <= newPoint && newPoint <= a) {
+		return m.C
+	}
+	return m.C + math.Min(math.Abs(newPoint-a), math.Abs(newPoint-b))
+}
+
+// Distance implements measure.Measure.
+func (m MSM) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	prev := make([]float64, n)
+	cur := make([]float64, n)
+	prev[0] = math.Abs(x[0] - y[0])
+	for j := 1; j < n; j++ {
+		prev[j] = prev[j-1] + m.msmCost(y[j], x[0], y[j-1])
+	}
+	for i := 1; i < n; i++ {
+		cur[0] = prev[0] + m.msmCost(x[i], x[i-1], y[0])
+		for j := 1; j < n; j++ {
+			move := prev[j-1] + math.Abs(x[i]-y[j])
+			split := prev[j] + m.msmCost(x[i], x[i-1], y[j])
+			merge := cur[j-1] + m.msmCost(y[j], x[i], y[j-1])
+			cur[j] = math.Min(move, math.Min(split, merge))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[n-1]
+}
+
+// TWE is the Time Warp Edit distance (Marteau 2009): an elastic metric
+// combining LCSS-style editing with DTW-style warping, controlled by a
+// stiffness parameter Nu (penalizing warping against the time axis) and a
+// constant edit penalty Lambda.
+type TWE struct {
+	Lambda float64 // edit penalty
+	Nu     float64 // stiffness
+}
+
+// Name implements measure.Measure.
+func (t TWE) Name() string { return fmt.Sprintf("twe[l=%g,n=%g]", t.Lambda, t.Nu) }
+
+// Distance implements measure.Measure.
+func (t TWE) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	// Pad with a leading zero sample at time 0, the reference treatment.
+	xp := make([]float64, m+1)
+	yp := make([]float64, m+1)
+	copy(xp[1:], x)
+	copy(yp[1:], y)
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		for j := 1; j <= m; j++ {
+			// Delete in x: advance i only.
+			delA := prev[j] + math.Abs(xp[i]-xp[i-1]) + t.Nu + t.Lambda
+			// Delete in y: advance j only.
+			delB := cur[j-1] + math.Abs(yp[j]-yp[j-1]) + t.Nu + t.Lambda
+			// Match: advance both, with stiffness on the time difference.
+			match := prev[j-1] + math.Abs(xp[i]-yp[j]) + math.Abs(xp[i-1]-yp[j-1]) +
+				2*t.Nu*math.Abs(float64(i-j))
+			cur[j] = math.Min(match, math.Min(delA, delB))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// Swale is the Sequence Weighted Alignment model (Morse & Patel 2007): a
+// similarity model rewarding matches (within Epsilon) by R and penalizing
+// gaps by P. The similarity is negated into a dissimilarity for 1-NN use.
+type Swale struct {
+	Epsilon float64 // match threshold
+	P       float64 // gap penalty (subtracted per gap)
+	R       float64 // match reward
+}
+
+// Name implements measure.Measure.
+func (s Swale) Name() string { return fmt.Sprintf("swale[e=%g,p=%g,r=%g]", s.Epsilon, s.P, s.R) }
+
+// Distance implements measure.Measure.
+func (s Swale) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = -s.P * float64(j)
+	}
+	for i := 1; i <= m; i++ {
+		cur[0] = -s.P * float64(i)
+		for j := 1; j <= m; j++ {
+			if math.Abs(x[i-1]-y[j-1]) <= s.Epsilon {
+				cur[j] = prev[j-1] + s.R
+			} else {
+				cur[j] = math.Max(prev[j], cur[j-1]) - s.P
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return -prev[m]
+}
+
+// All returns one representative instance of each of the 7 elastic
+// measures, using the paper's unsupervised parameter choices (Table 5);
+// supervised grids live in the eval package's parameter registry.
+func All() []measure.Measure {
+	return []measure.Measure{
+		MSM{C: 0.5},
+		TWE{Lambda: 1, Nu: 0.0001},
+		DTW{DeltaPercent: 10},
+		EDR{Epsilon: 0.1},
+		Swale{Epsilon: 0.2, P: 5, R: 1},
+		ERP{G: 0},
+		LCSS{DeltaPercent: 5, Epsilon: 0.2},
+	}
+}

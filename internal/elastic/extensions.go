@@ -1,0 +1,255 @@
+package elastic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/measure"
+)
+
+// This file implements the elastic-measure extensions Section 7 of the
+// paper surveys but excludes from its core evaluation (DDTW, WDTW, CID) —
+// provided here as the paper's suggested future-work territory — and the
+// precomputed-envelope form of LB_Keogh that makes pruned 1-NN search
+// practical.
+
+// DDTW is Derivative DTW (Keogh & Pazzani / Górecki & Łuczak): DTW applied
+// to the first-order derivative estimate of each series, aligning on shape
+// slopes rather than raw values.
+type DDTW struct {
+	DeltaPercent int
+}
+
+// Name implements measure.Measure.
+func (d DDTW) Name() string { return fmt.Sprintf("ddtw[d=%d]", d.DeltaPercent) }
+
+// Derivative returns the Keogh-Pazzani derivative estimate
+// ((x_i - x_{i-1}) + (x_{i+1} - x_{i-1})/2) / 2, with replicated endpoints.
+// Series shorter than 3 points return a zero slope vector.
+func Derivative(x []float64) []float64 {
+	m := len(x)
+	out := make([]float64, m)
+	if m < 3 {
+		return out
+	}
+	for i := 1; i < m-1; i++ {
+		out[i] = ((x[i] - x[i-1]) + (x[i+1]-x[i-1])/2) / 2
+	}
+	out[0] = out[1]
+	out[m-1] = out[m-2]
+	return out
+}
+
+// Distance implements measure.Measure.
+func (d DDTW) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	return DTW{DeltaPercent: d.DeltaPercent}.Distance(Derivative(x), Derivative(y))
+}
+
+// DDBlend is the Górecki & Łuczak (2013) derivative blend: a convex
+// combination of DTW on the raw series and DTW on the derivative
+// estimates, dist = (1-Alpha)*DTW(x, y) + Alpha*DTW(x', y'). Alpha = 0 is
+// plain DTW, Alpha = 1 is DDTW.
+type DDBlend struct {
+	DeltaPercent int
+	Alpha        float64
+}
+
+// Name implements measure.Measure.
+func (d DDBlend) Name() string {
+	return fmt.Sprintf("ddblend[d=%d,a=%g]", d.DeltaPercent, d.Alpha)
+}
+
+// Distance implements measure.Measure.
+func (d DDBlend) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	dtw := DTW{DeltaPercent: d.DeltaPercent}
+	raw := dtw.Distance(x, y)
+	deriv := dtw.Distance(Derivative(x), Derivative(y))
+	return (1-d.Alpha)*raw + d.Alpha*deriv
+}
+
+// WDTW is Weighted DTW (Jeong, Jeong, Omitaomu 2011): a soft band that
+// multiplies each cell cost by a logistic weight of the phase difference
+// |i-j|, penalizing (but not forbidding) far-from-diagonal warping. G is
+// the steepness of the logistic curve (0.05 is the authors' default) and
+// WMax the maximum weight (1 by convention; 0 means 1).
+type WDTW struct {
+	G    float64
+	WMax float64
+}
+
+// Name implements measure.Measure.
+func (w WDTW) Name() string { return fmt.Sprintf("wdtw[g=%g]", w.G) }
+
+// Distance implements measure.Measure.
+func (w WDTW) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	wmax := w.WMax
+	if wmax == 0 {
+		wmax = 1
+	}
+	// Precompute the weight of each phase difference.
+	weights := make([]float64, m)
+	mid := float64(m) / 2
+	for a := range weights {
+		weights[a] = wmax / (1 + math.Exp(-w.G*(float64(a)-mid)))
+	}
+	inf := math.Inf(1)
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		cur[0] = inf
+		for j := 1; j <= m; j++ {
+			diff := x[i-1] - y[j-1]
+			phase := i - j
+			if phase < 0 {
+				phase = -phase
+			}
+			c := weights[phase] * diff * diff
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			cur[j] = c + best
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+// CID wraps any base measure with the Complexity-Invariant correction of
+// Batista et al. (2014): the base distance is multiplied by
+// max(CE(x), CE(y)) / min(CE(x), CE(y)), where CE is the complexity
+// estimate sqrt(sum (x_{i+1} - x_i)^2), compensating for the bias of
+// simple series matching everything.
+type CID struct {
+	Base measure.Measure
+}
+
+// Name implements measure.Measure.
+func (c CID) Name() string { return "cid(" + c.Base.Name() + ")" }
+
+// ComplexityEstimate returns sqrt(sum of squared successive differences).
+func ComplexityEstimate(x []float64) float64 {
+	var s float64
+	for i := 1; i < len(x); i++ {
+		d := x[i] - x[i-1]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Distance implements measure.Measure.
+func (c CID) Distance(x, y []float64) float64 {
+	measure.CheckSameLength(x, y)
+	base := c.Base.Distance(x, y)
+	cx, cy := ComplexityEstimate(x), ComplexityEstimate(y)
+	lo, hi := math.Min(cx, cy), math.Max(cx, cy)
+	if lo == 0 {
+		if hi == 0 {
+			return base // both flat: no correction
+		}
+		return math.Inf(1) // flat vs complex: maximally dissimilar
+	}
+	return base * hi / lo
+}
+
+// Envelope holds the precomputed upper and lower running envelopes of a
+// series for a Sakoe-Chiba band of absolute half-width W, enabling
+// LB_Keogh evaluations in O(m) per query without rescanning windows.
+type Envelope struct {
+	Upper, Lower []float64
+	W            int
+}
+
+// NewEnvelope builds the envelope of y in O(m) using monotonic deques.
+func NewEnvelope(y []float64, w int) *Envelope {
+	m := len(y)
+	e := &Envelope{Upper: make([]float64, m), Lower: make([]float64, m), W: w}
+	// Sliding-window maximum (upper) and minimum (lower) over [i-w, i+w].
+	maxDeque := make([]int, 0, m)
+	minDeque := make([]int, 0, m)
+	// j indexes the element entering the window of center i = j - w.
+	for j := 0; j < m+w; j++ {
+		if j < m {
+			for len(maxDeque) > 0 && y[maxDeque[len(maxDeque)-1]] <= y[j] {
+				maxDeque = maxDeque[:len(maxDeque)-1]
+			}
+			maxDeque = append(maxDeque, j)
+			for len(minDeque) > 0 && y[minDeque[len(minDeque)-1]] >= y[j] {
+				minDeque = minDeque[:len(minDeque)-1]
+			}
+			minDeque = append(minDeque, j)
+		}
+		i := j - w // window center whose window is now complete
+		if i < 0 || i >= m {
+			continue
+		}
+		for maxDeque[0] < i-w {
+			maxDeque = maxDeque[1:]
+		}
+		for minDeque[0] < i-w {
+			minDeque = minDeque[1:]
+		}
+		e.Upper[i] = y[maxDeque[0]]
+		e.Lower[i] = y[minDeque[0]]
+	}
+	return e
+}
+
+// LBKeogh returns the LB_Keogh lower bound of DTW(x, y) against the
+// precomputed envelope of y, in O(m). Equivalent to the package-level
+// LBKeogh for the same band width.
+func (e *Envelope) LBKeogh(x []float64) float64 {
+	if len(x) != len(e.Upper) {
+		panic(fmt.Sprintf("elastic: envelope length %d, query length %d", len(e.Upper), len(x)))
+	}
+	var s float64
+	for i, v := range x {
+		switch {
+		case v > e.Upper[i]:
+			d := v - e.Upper[i]
+			s += d * d
+		case v < e.Lower[i]:
+			d := e.Lower[i] - v
+			s += d * d
+		}
+	}
+	return s
+}
+
+// NNSearchDTW runs 1-NN search of query against refs under DTW with the
+// given band percentage, pruning candidates whose LB_Keogh (against the
+// precomputed query envelope) cannot beat the best distance so far. It
+// returns the index of the nearest reference, its DTW distance, and the
+// number of full DTW computations avoided. Envelope-based pruning uses the
+// query's envelope, exploiting LB_Keogh(y, env(x)) <= DTW(x, y).
+func NNSearchDTW(query []float64, refs [][]float64, deltaPercent int) (best int, bestDist float64, pruned int) {
+	w := windowSize(deltaPercent, len(query))
+	env := NewEnvelope(query, w)
+	dtw := DTW{DeltaPercent: deltaPercent}
+	best = -1
+	for i, r := range refs {
+		if best >= 0 && env.LBKeogh(r) >= bestDist {
+			pruned++
+			continue
+		}
+		d := dtw.Distance(query, r)
+		if best == -1 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, bestDist, pruned
+}

@@ -1,0 +1,241 @@
+// Package eval implements the paper's evaluation framework (Section 3):
+// dissimilarity-matrix computation (parallelized across rows, with the
+// measure.Stateful fast path), the 1-NN classifier of Algorithm 1 for test
+// accuracy, the leave-one-out variant used for supervised parameter tuning,
+// the parameter grids of Table 4, and the per-dataset evaluation pipeline
+// combining a normalization method with a distance measure.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/measure"
+	"repro/internal/norm"
+)
+
+// Matrix computes the dissimilarity matrix E with E[i][j] =
+// d(queries[i], refs[j]). Rows are computed in parallel across all CPUs.
+// NaN distances are sanitized to +Inf so undefined measures rank last.
+// When the measure implements measure.Stateful, each series is prepared
+// exactly once.
+func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
+	e := make([][]float64, len(queries))
+	if len(queries) == 0 {
+		return e
+	}
+	workers := runtime.NumCPU()
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	if sm, ok := m.(measure.Stateful); ok {
+		pq := prepareAll(sm, queries, workers)
+		var pr []any
+		if sameSeries(queries, refs) {
+			pr = pq
+		} else {
+			pr = prepareAll(sm, refs, workers)
+		}
+		parallelRows(len(queries), workers, func(i int) {
+			row := make([]float64, len(refs))
+			for j := range refs {
+				row[j] = measure.Sanitize(sm.PreparedDistance(pq[i], pr[j]))
+			}
+			e[i] = row
+		})
+		return e
+	}
+
+	parallelRows(len(queries), workers, func(i int) {
+		row := make([]float64, len(refs))
+		for j := range refs {
+			row[j] = measure.Sanitize(m.Distance(queries[i], refs[j]))
+		}
+		e[i] = row
+	})
+	return e
+}
+
+// sameSeries reports whether the two slices share identical backing rows,
+// which holds when computing the square train-by-train matrix W.
+func sameSeries(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) == 0 || len(b[i]) == 0 {
+			if len(a[i]) != len(b[i]) {
+				return false
+			}
+			continue
+		}
+		if &a[i][0] != &b[i][0] {
+			return false
+		}
+	}
+	return true
+}
+
+func prepareAll(sm measure.Stateful, series [][]float64, workers int) []any {
+	out := make([]any, len(series))
+	parallelRows(len(series), workers, func(i int) {
+		out[i] = sm.Prepare(series[i])
+	})
+	return out
+}
+
+// parallelRows runs fn(i) for i in [0, n) across the given worker count.
+func parallelRows(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// OneNN implements Algorithm 1 of the paper: given the r-by-p matrix E of
+// dissimilarities between test and training series, the test labels, and
+// the training labels, it returns the fraction of test series whose
+// nearest training series shares their label. Ties keep the first (lowest
+// index) neighbor, making the result deterministic.
+func OneNN(e [][]float64, testLabels, trainLabels []int) float64 {
+	if len(e) != len(testLabels) {
+		panic(fmt.Sprintf("eval: %d matrix rows, %d test labels", len(e), len(testLabels)))
+	}
+	if len(e) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range e {
+		if len(row) != len(trainLabels) {
+			panic(fmt.Sprintf("eval: row %d has %d cols, %d train labels", i, len(row), len(trainLabels)))
+		}
+		best := -1
+		for j, d := range row {
+			if best == -1 || d < row[best] {
+				best = j
+			}
+		}
+		if best >= 0 && trainLabels[best] == testLabels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(e))
+}
+
+// LeaveOneOut computes the leave-one-out training accuracy from the square
+// train-by-train matrix W, skipping the diagonal (self matches), which is
+// the variant of Algorithm 1 the paper uses for parameter tuning.
+func LeaveOneOut(w [][]float64, labels []int) float64 {
+	n := len(w)
+	if n != len(labels) {
+		panic(fmt.Sprintf("eval: %d matrix rows, %d labels", n, len(labels)))
+	}
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range w {
+		best := -1
+		for j, d := range row {
+			if j == i {
+				continue
+			}
+			if best == -1 || d < row[best] {
+				best = j
+			}
+		}
+		if best >= 0 && labels[best] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// Grid is a family of parameterized measure candidates sharing a name;
+// supervised tuning picks the candidate with the best leave-one-out
+// training accuracy (grid order breaks ties, keeping runs deterministic).
+type Grid struct {
+	Name       string
+	Candidates []measure.Measure
+}
+
+// TuneSupervised returns the grid candidate maximizing leave-one-out
+// accuracy on the training split, together with that accuracy. It panics
+// on an empty grid.
+func TuneSupervised(g Grid, train [][]float64, labels []int) (measure.Measure, float64) {
+	if len(g.Candidates) == 0 {
+		panic(fmt.Sprintf("eval: empty grid %q", g.Name))
+	}
+	bestIdx, bestAcc := 0, -1.0
+	for i, cand := range g.Candidates {
+		w := Matrix(cand, train, train)
+		acc := LeaveOneOut(w, labels)
+		if acc > bestAcc {
+			bestAcc = acc
+			bestIdx = i
+		}
+	}
+	return g.Candidates[bestIdx], bestAcc
+}
+
+// Normalize applies the normalizer to every series of both splits,
+// returning a new dataset; a nil normalizer returns the input unchanged.
+func Normalize(d *dataset.Dataset, n norm.Normalizer) *dataset.Dataset {
+	if n == nil {
+		return d
+	}
+	out := &dataset.Dataset{
+		Name:        d.Name,
+		Train:       make([][]float64, len(d.Train)),
+		TrainLabels: d.TrainLabels,
+		Test:        make([][]float64, len(d.Test)),
+		TestLabels:  d.TestLabels,
+	}
+	for i, s := range d.Train {
+		out.Train[i] = n.Normalize(s)
+	}
+	for i, s := range d.Test {
+		out.Test[i] = n.Normalize(s)
+	}
+	return out
+}
+
+// TestAccuracy evaluates a fixed measure on a dataset: the 1-NN test
+// accuracy over the E (test-by-train) matrix, after applying the
+// normalizer (which may be nil for pre-normalized data).
+func TestAccuracy(m measure.Measure, d *dataset.Dataset, n norm.Normalizer) float64 {
+	nd := Normalize(d, n)
+	e := Matrix(m, nd.Test, nd.Train)
+	return OneNN(e, nd.TestLabels, nd.TrainLabels)
+}
+
+// SupervisedAccuracy tunes the grid on the training split (leave-one-out)
+// and reports the 1-NN test accuracy of the selected candidate, returning
+// the accuracy and the chosen measure.
+func SupervisedAccuracy(g Grid, d *dataset.Dataset, n norm.Normalizer) (float64, measure.Measure) {
+	nd := Normalize(d, n)
+	chosen, _ := TuneSupervised(g, nd.Train, nd.TrainLabels)
+	e := Matrix(chosen, nd.Test, nd.Train)
+	return OneNN(e, nd.TestLabels, nd.TrainLabels), chosen
+}

@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"math"
+
+	"repro/internal/elastic"
+	"repro/internal/kernel"
+	"repro/internal/lockstep"
+	"repro/internal/measure"
+)
+
+// This file encodes Table 4 of the paper: the parameter grid evaluated for
+// every measure that requires tuning. Reduced variants (every k-th grid
+// point) back the -short test and bench configurations; the selection is
+// deterministic.
+
+// epsilonGrid is the threshold grid shared by EDR and LCSS.
+var epsilonGrid = []float64{
+	0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05,
+	0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1,
+}
+
+// swaleEpsilonGrid is Swale's threshold grid.
+var swaleEpsilonGrid = []float64{
+	0.01, 0.03, 0.05, 0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5,
+	0.6, 0.7, 0.8, 0.9, 1,
+}
+
+// powersOfTwo returns {2^lo, ..., 2^hi}.
+func powersOfTwo(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for e := lo; e <= hi; e++ {
+		out = append(out, math.Pow(2, float64(e)))
+	}
+	return out
+}
+
+// oneToTwenty is the integer gamma grid of SINK and GRAIL.
+func oneToTwenty() []float64 {
+	out := make([]float64, 20)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// MSMGrid returns the MSM cost grid of Table 4.
+func MSMGrid() Grid {
+	cs := []float64{0.01, 0.1, 1, 10, 100, 0.05, 0.5, 5, 50, 500}
+	g := Grid{Name: "msm"}
+	for _, c := range cs {
+		g.Candidates = append(g.Candidates, elastic.MSM{C: c})
+	}
+	return g
+}
+
+// DTWGrid returns the DTW Sakoe-Chiba window grid of Table 4.
+func DTWGrid() Grid {
+	g := Grid{Name: "dtw"}
+	for d := 0; d <= 20; d++ {
+		g.Candidates = append(g.Candidates, elastic.DTW{DeltaPercent: d})
+	}
+	g.Candidates = append(g.Candidates, elastic.DTW{DeltaPercent: 100})
+	return g
+}
+
+// EDRGrid returns the EDR threshold grid of Table 4.
+func EDRGrid() Grid {
+	g := Grid{Name: "edr"}
+	for _, e := range epsilonGrid {
+		g.Candidates = append(g.Candidates, elastic.EDR{Epsilon: e})
+	}
+	return g
+}
+
+// LCSSGrid returns the LCSS band-by-threshold grid of Table 4.
+func LCSSGrid() Grid {
+	g := Grid{Name: "lcss"}
+	for _, d := range []int{5, 10} {
+		for _, e := range epsilonGrid {
+			g.Candidates = append(g.Candidates, elastic.LCSS{DeltaPercent: d, Epsilon: e})
+		}
+	}
+	return g
+}
+
+// TWEGrid returns the TWE lambda-by-nu grid of Table 4.
+func TWEGrid() Grid {
+	g := Grid{Name: "twe"}
+	for _, l := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		for _, n := range []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1} {
+			g.Candidates = append(g.Candidates, elastic.TWE{Lambda: l, Nu: n})
+		}
+	}
+	return g
+}
+
+// SwaleGrid returns the Swale grid of Table 4 (p = 5, r = 1 fixed).
+func SwaleGrid() Grid {
+	g := Grid{Name: "swale"}
+	for _, e := range swaleEpsilonGrid {
+		g.Candidates = append(g.Candidates, elastic.Swale{Epsilon: e, P: 5, R: 1})
+	}
+	return g
+}
+
+// ERPGrid returns the single parameter-free ERP candidate (g = 0).
+func ERPGrid() Grid {
+	return Grid{Name: "erp", Candidates: []measure.Measure{elastic.ERP{G: 0}}}
+}
+
+// MinkowskiGrid returns the L_p order grid of Table 4.
+func MinkowskiGrid() Grid {
+	ps := []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1, 1.3, 1.5, 1.7, 1.9, 2, 3, 5, 7, 9, 11, 13, 15, 17, 20}
+	g := Grid{Name: "minkowski"}
+	for _, p := range ps {
+		g.Candidates = append(g.Candidates, lockstep.Minkowski(p))
+	}
+	return g
+}
+
+// KDTWGrid returns the KDTW gamma grid of Table 4 (2^-15 .. 2^0).
+func KDTWGrid() Grid {
+	g := Grid{Name: "kdtw"}
+	for _, v := range powersOfTwo(-15, 0) {
+		g.Candidates = append(g.Candidates, kernel.KDTW{Gamma: v})
+	}
+	return g
+}
+
+// GAKGrid returns the GAK bandwidth grid of Table 4.
+func GAKGrid() Grid {
+	vs := []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1, 2, 3, 4,
+		5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+	g := Grid{Name: "gak"}
+	for _, v := range vs {
+		g.Candidates = append(g.Candidates, kernel.GAK{Sigma: v})
+	}
+	return g
+}
+
+// SINKGrid returns the SINK gamma grid of Table 4 (1 .. 20).
+func SINKGrid() Grid {
+	g := Grid{Name: "sink"}
+	for _, v := range oneToTwenty() {
+		g.Candidates = append(g.Candidates, kernel.SINK{Gamma: v})
+	}
+	return g
+}
+
+// RBFGrid returns the RBF gamma grid of Table 4 (2^-15 .. 2^0, extended by
+// gamma = 2, the paper's unsupervised choice).
+func RBFGrid() Grid {
+	g := Grid{Name: "rbf"}
+	for _, v := range append(powersOfTwo(-15, 0), 2) {
+		g.Candidates = append(g.Candidates, kernel.RBF{Gamma: v})
+	}
+	return g
+}
+
+// ElasticGrids returns the supervised grids of the 7 elastic measures in
+// the order of Table 5.
+func ElasticGrids() []Grid {
+	return []Grid{MSMGrid(), TWEGrid(), DTWGrid(), EDRGrid(), SwaleGrid(), ERPGrid(), LCSSGrid()}
+}
+
+// KernelGrids returns the supervised grids of the 4 kernel functions in
+// the order of Table 6.
+func KernelGrids() []Grid {
+	return []Grid{KDTWGrid(), GAKGrid(), SINKGrid(), RBFGrid()}
+}
+
+// Thin returns a copy of the grid keeping every stride-th candidate
+// (always at least the first); experiment drivers use it for the reduced
+// -short configurations.
+func Thin(g Grid, stride int) Grid {
+	if stride <= 1 {
+		return g
+	}
+	out := Grid{Name: g.Name}
+	for i := 0; i < len(g.Candidates); i += stride {
+		out.Candidates = append(out.Candidates, g.Candidates[i])
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/lockstep"
+	"repro/internal/norm"
+	"repro/internal/sliding"
+)
+
+// Figure2 reproduces Figure 2: the Friedman/Nemenyi ranking of the
+// lock-step measures that outperform ED under z-score (supervised
+// Minkowski, Lorentzian, Manhattan, Avg L1/Linf, DISSIM) together with ED.
+func Figure2(opts Options) Ranking {
+	opts = opts.Defaults()
+	combos := []Combo{
+		supervisedCombo(opts, eval.MinkowskiGrid(), norm.ZScore()),
+		EvaluateCombo(opts.Archive, lockstep.Lorentzian(), norm.ZScore()),
+		EvaluateCombo(opts.Archive, lockstep.Manhattan(), norm.ZScore()),
+		EvaluateCombo(opts.Archive, lockstep.AvgL1Linf(), norm.ZScore()),
+		EvaluateCombo(opts.Archive, lockstep.DISSIM(), norm.ZScore()),
+		EvaluateCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore()),
+	}
+	return BuildRanking("Figure 2: lock-step measures under z-score", combos, opts.FriedmanAlpha)
+}
+
+// Figure3 reproduces Figure 3: the ranking of the Lorentzian distance
+// under different normalizations against ED with z-score.
+func Figure3(opts Options) Ranking {
+	opts = opts.Defaults()
+	lor := lockstep.Lorentzian()
+	combos := []Combo{
+		EvaluateCombo(opts.Archive, lor, norm.ZScore()),
+		EvaluateCombo(opts.Archive, lor, norm.MinMax()),
+		EvaluateCombo(opts.Archive, lor, norm.UnitLength()),
+		EvaluateCombo(opts.Archive, lor, norm.MeanNorm()),
+		EvaluateCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore()),
+	}
+	return BuildRanking("Figure 3: Lorentzian under different normalizations vs ED (z-score)", combos, opts.FriedmanAlpha)
+}
+
+// Figure4 reproduces Figure 4: the ranking of NCCc under different
+// normalization methods, with Lorentzian (UnitLength) as the baseline.
+func Figure4(opts Options) Ranking {
+	opts = opts.Defaults()
+	sbd := sliding.SBD()
+	adapted := EvaluateCombo(opts.Archive, norm.AdaptiveScaling(sbd), nil)
+	adapted.Measure = sbd.Name()
+	adapted.Scaling = norm.AdaptiveName
+	combos := []Combo{
+		EvaluateCombo(opts.Archive, sbd, norm.ZScore()),
+		EvaluateCombo(opts.Archive, sbd, norm.MeanNorm()),
+		EvaluateCombo(opts.Archive, sbd, norm.UnitLength()),
+		EvaluateCombo(opts.Archive, sbd, norm.MinMax()),
+		adapted,
+		EvaluateCombo(opts.Archive, lockstep.Lorentzian(), norm.UnitLength()),
+	}
+	return BuildRanking("Figure 4: NCCc under different normalizations vs Lorentzian (unitlength)", combos, opts.FriedmanAlpha)
+}
+
+// Figure5 reproduces Figure 5: the ranking of the elastic measures with
+// supervised tuning, together with NCCc.
+func Figure5(opts Options) Ranking {
+	opts = opts.Defaults()
+	var combos []Combo
+	for _, g := range eval.ElasticGrids() {
+		combos = append(combos, EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil))
+	}
+	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	base.Scaling = "-"
+	combos = append(combos, base)
+	return BuildRanking("Figure 5: elastic vs sliding measures (supervised)", combos, opts.FriedmanAlpha)
+}
+
+// Figure6 reproduces Figure 6: the ranking of the elastic measures with
+// fixed (unsupervised) parameters, together with NCCc.
+func Figure6(opts Options) Ranking {
+	opts = opts.Defaults()
+	var combos []Combo
+	for _, m := range unsupervisedElastic() {
+		c := EvaluateCombo(opts.Archive, m, nil)
+		c.Scaling = "fixed"
+		combos = append(combos, c)
+	}
+	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	base.Scaling = "-"
+	combos = append(combos, base)
+	return BuildRanking("Figure 6: elastic vs sliding measures (unsupervised)", combos, opts.FriedmanAlpha)
+}
+
+// Figure7 reproduces Figure 7: kernels (KDTW, GAK, SINK) ranked together
+// with the strong elastic measures and NCCc under supervised tuning.
+func Figure7(opts Options) Ranking {
+	opts = opts.Defaults()
+	var combos []Combo
+	for _, g := range []eval.Grid{eval.KDTWGrid(), eval.GAKGrid(), eval.SINKGrid(), eval.MSMGrid(), eval.TWEGrid(), eval.DTWGrid()} {
+		combos = append(combos, EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil))
+	}
+	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	base.Scaling = "-"
+	combos = append(combos, base)
+	return BuildRanking("Figure 7: kernel vs elastic vs sliding (supervised)", combos, opts.FriedmanAlpha)
+}
+
+// Figure8 reproduces Figure 8: the unsupervised counterpart of Figure 7.
+func Figure8(opts Options) Ranking {
+	opts = opts.Defaults()
+	ms := unsupervisedKernels()[:3] // KDTW, GAK, SINK
+	ms = append(ms, unsupervisedElastic()[:3]...)
+	var combos []Combo
+	for _, m := range ms {
+		c := EvaluateCombo(opts.Archive, m, nil)
+		c.Scaling = "fixed"
+		combos = append(combos, c)
+	}
+	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	base.Scaling = "-"
+	combos = append(combos, base)
+	return BuildRanking("Figure 8: kernel vs elastic vs sliding (unsupervised)", combos, opts.FriedmanAlpha)
+}
+
+// Figure1 reproduces Figure 1 as ASCII art: how each of the 8
+// normalization methods transforms a pair of series from an ECG-like
+// dataset.
+func Figure1() string {
+	d := dataset.Generate(dataset.Config{
+		Name: "ECGPair", Family: dataset.FamilyECG, Length: 96,
+		NumClasses: 2, TrainSize: 2, TestSize: 2, Seed: 5, NoiseSigma: 0.1,
+	})
+	// Undo the generator's z-normalization visually by offsetting one series.
+	x := d.Train[0]
+	y := make([]float64, len(d.Train[1]))
+	for i, v := range d.Train[1] {
+		y[i] = 2*v + 3 // different scale and translation, as in the example
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1: the 8 normalization methods on a pair of ECG-like series\n")
+	for _, n := range norm.All() {
+		fmt.Fprintf(&b, "\n[%s]\n", n.Name())
+		b.WriteString(asciiPlot(n.Normalize(x), n.Normalize(y), 64, 8))
+	}
+	return b.String()
+}
+
+// asciiPlot renders two series in a width-by-height character grid
+// ('*' = first series, 'o' = second, '#' = both).
+func asciiPlot(x, y []float64, width, height int) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range [][]float64{x, y} {
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	put := func(s []float64, ch byte) {
+		for c := 0; c < width; c++ {
+			idx := c * (len(s) - 1) / (width - 1)
+			r := int((hi - s[idx]) / (hi - lo) * float64(height-1))
+			if r < 0 {
+				r = 0
+			}
+			if r >= height {
+				r = height - 1
+			}
+			if grid[r][c] != ' ' && grid[r][c] != ch {
+				grid[r][c] = '#'
+			} else {
+				grid[r][c] = ch
+			}
+		}
+	}
+	put(x, '*')
+	put(y, 'o')
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "range [%.3f, %.3f]\n", lo, hi)
+	return b.String()
+}

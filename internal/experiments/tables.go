@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/elastic"
+	"repro/internal/embedding"
+	"repro/internal/eval"
+	"repro/internal/kernel"
+	"repro/internal/lockstep"
+	"repro/internal/measure"
+	"repro/internal/norm"
+	"repro/internal/sliding"
+)
+
+// Table2 reproduces Table 2: every lock-step measure under every
+// normalization method, compared against ED with z-score (the previous
+// state of the art). Only combos with a higher average accuracy than the
+// baseline are reported, as in the paper.
+func Table2(opts Options) Table {
+	opts = opts.Defaults()
+	baseline := EvaluateCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore())
+	var combos []Combo
+	for _, m := range lockstep.All() {
+		for _, n := range norm.All() {
+			combos = append(combos, EvaluateCombo(opts.Archive, m, n))
+		}
+	}
+	// The supervised Minkowski row of the paper: tuned per dataset.
+	combos = append(combos, supervisedCombo(opts, eval.MinkowskiGrid(), norm.ZScore()))
+	return BuildTable("Table 2: lock-step measures vs ED (z-score)", combos, baseline, opts.WilcoxonAlpha, false)
+}
+
+// supervisedCombo evaluates a grid with LOOCV tuning under a normalization
+// and labels the combo with the normalization name plus the protocol.
+func supervisedCombo(opts Options, g eval.Grid, n norm.Normalizer) Combo {
+	c := EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), n)
+	c.Scaling = scalingName(n) + "+loocv"
+	return c
+}
+
+// Table3 reproduces Table 3: the 4 cross-correlation variants under every
+// normalization (including the pairwise AdaptiveScaling decorator),
+// compared against the Lorentzian distance, the new lock-step state of the
+// art established by Table 2.
+func Table3(opts Options) Table {
+	opts = opts.Defaults()
+	baseline := EvaluateCombo(opts.Archive, lockstep.Lorentzian(), norm.UnitLength())
+	var combos []Combo
+	for _, m := range sliding.All() {
+		for _, n := range norm.All() {
+			combos = append(combos, EvaluateCombo(opts.Archive, m, n))
+		}
+		adapted := EvaluateCombo(opts.Archive, norm.AdaptiveScaling(m), nil)
+		adapted.Measure = m.Name()
+		adapted.Scaling = norm.AdaptiveName
+		combos = append(combos, adapted)
+	}
+	return BuildTable("Table 3: sliding measures vs Lorentzian (unitlength)", combos, baseline, opts.WilcoxonAlpha, false)
+}
+
+// unsupervisedElastic returns the fixed-parameter elastic rows of Table 5.
+func unsupervisedElastic() []measure.Measure {
+	return []measure.Measure{
+		elastic.MSM{C: 0.5},
+		elastic.TWE{Lambda: 1, Nu: 0.0001},
+		elastic.DTW{DeltaPercent: 100},
+		elastic.DTW{DeltaPercent: 10},
+		elastic.EDR{Epsilon: 0.1},
+		elastic.Swale{Epsilon: 0.2, P: 5, R: 1},
+		elastic.ERP{G: 0},
+		elastic.LCSS{DeltaPercent: 5, Epsilon: 0.2},
+	}
+}
+
+// Table5 reproduces Table 5: the 7 elastic measures against NCCc, under
+// both the supervised (LOOCV) and unsupervised (fixed parameters)
+// protocols. All data is z-normalized, as the paper fixes from Section 7
+// onward.
+func Table5(opts Options) Table {
+	opts = opts.Defaults()
+	baseline := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	baseline.Scaling = "-"
+	var combos []Combo
+	for _, g := range eval.ElasticGrids() {
+		if g.Name == "erp" {
+			continue // parameter-free: only the unsupervised row applies
+		}
+		c := EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil)
+		combos = append(combos, c)
+	}
+	for _, m := range unsupervisedElastic() {
+		c := EvaluateCombo(opts.Archive, m, nil)
+		c.Scaling = "fixed"
+		combos = append(combos, c)
+	}
+	return BuildTable("Table 5: elastic measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true)
+}
+
+// unsupervisedKernels returns the fixed-parameter kernel rows of Table 6.
+func unsupervisedKernels() []measure.Measure {
+	return []measure.Measure{
+		kernel.KDTW{Gamma: 0.125},
+		kernel.GAK{Sigma: 0.1},
+		kernel.SINK{Gamma: 5},
+		kernel.RBF{Gamma: 2},
+	}
+}
+
+// Table6 reproduces Table 6: the 4 kernel functions against NCCc under
+// both protocols.
+func Table6(opts Options) Table {
+	opts = opts.Defaults()
+	baseline := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	baseline.Scaling = "-"
+	var combos []Combo
+	for _, g := range eval.KernelGrids() {
+		combos = append(combos, EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil))
+	}
+	for _, m := range unsupervisedKernels() {
+		c := EvaluateCombo(opts.Archive, m, nil)
+		c.Scaling = "fixed"
+		combos = append(combos, c)
+	}
+	return BuildTable("Table 6: kernel measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true)
+}
+
+// EvaluateEmbedding fits a fresh embedder per dataset (on its training
+// split) and evaluates the ED-over-representations measure, the protocol
+// of Section 9.
+func EvaluateEmbedding(archive []*dataset.Dataset, build func(seed int64) embedding.Embedder) Combo {
+	var c Combo
+	c.Scaling = "fit/train"
+	c.Accs = make([]float64, len(archive))
+	for i, d := range archive {
+		e := build(int64(i + 1))
+		e.Fit(d.Train)
+		m := embedding.Measure{E: e}
+		if c.Measure == "" {
+			c.Measure = m.Name()
+		}
+		c.Accs[i] = eval.TestAccuracy(m, d, nil)
+	}
+	return c
+}
+
+// Table7 reproduces Table 7: the 4 embedding measures (fixed-length-100
+// representations compared with ED) against NCCc.
+func Table7(opts Options) Table {
+	opts = opts.Defaults()
+	baseline := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	baseline.Scaling = "-"
+	builders := []func(seed int64) embedding.Embedder{
+		func(seed int64) embedding.Embedder { return &embedding.GRAIL{Gamma: 5, Seed: seed} },
+		func(seed int64) embedding.Embedder { return &embedding.RWS{Gamma: 1, DMax: 25, Seed: seed} },
+		func(seed int64) embedding.Embedder { return &embedding.SPIRAL{Seed: seed} },
+		func(seed int64) embedding.Embedder { return &embedding.SIDL{Lambda: 0.1, R: 0.25, Seed: seed} },
+	}
+	var combos []Combo
+	for _, b := range builders {
+		combos = append(combos, EvaluateEmbedding(opts.Archive, b))
+	}
+	return BuildTable("Table 7: embedding measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true)
+}
+
+// Table4 renders the parameter grids (Table 4 is configuration, not an
+// experiment): every tunable measure with its candidate count and bounds.
+func Table4() string {
+	out := "Table 4: parameter grids (see eval package for exact values)\n"
+	grids := append(eval.ElasticGrids(), eval.KernelGrids()...)
+	grids = append(grids, eval.MinkowskiGrid())
+	for _, g := range grids {
+		out += fmt.Sprintf("  %-12s %3d candidates (%s .. %s)\n",
+			g.Name, len(g.Candidates),
+			g.Candidates[0].Name(), g.Candidates[len(g.Candidates)-1].Name())
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approxEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// dftNaive is the O(n^2) reference DFT.
+func dftNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	cases := map[int]bool{1: true, 2: true, 3: false, 4: true, 6: false, 1024: true, 0: false, -4: false}
+	for n, want := range cases {
+		if got := IsPowerOfTwo(n); got != want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 17: 32, 1024: 1024, 1025: 2048}
+	for n, want := range cases {
+		if got := NextPowerOfTwo(n); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNextPowerOfTwoPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NextPowerOfTwo(0)
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 27, 31, 64, 100, 128} {
+		x := randComplex(rng, n)
+		want := dftNaive(x)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-7*(1+cmplx.Abs(want[k])) {
+				t.Fatalf("n=%d: Forward[%d] = %v, want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 50, 64, 129, 256} {
+		x := randComplex(rng, n)
+		orig := append([]complex128(nil), x...)
+		Inverse(Forward(x))
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-8 {
+				t.Fatalf("n=%d: round trip [%d] = %v, want %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Parseval: sum |x|^2 == (1/n) sum |X|^2 for the unnormalized forward DFT.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(200)
+		x := randComplex(rng, n)
+		var timeE float64
+		for _, v := range x {
+			timeE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		Forward(x)
+		var freqE float64
+		for _, v := range x {
+			freqE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return approxEq(timeE, freqE/float64(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForwardLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		x := randComplex(rng, n)
+		y := randComplex(rng, n)
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = x[i] + y[i]
+		}
+		Forward(x)
+		Forward(y)
+		Forward(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(x[i]+y[i])) > 1e-7*(1+cmplx.Abs(sum[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossCorrelationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 8, 17, 50, 64, 100} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		want := CrossCorrelationNaive(x, y)
+		got := CrossCorrelation(x, y)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d, want %d", n, len(got), len(want))
+		}
+		for k := range want {
+			if !approxEq(got[k], want[k], 1e-8) {
+				t.Fatalf("n=%d: cc[%d] = %g, want %g", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestCrossCorrelationUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 37)
+	y := make([]float64, 61)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	want := CrossCorrelationNaive(x, y)
+	got := CrossCorrelation(x, y)
+	for k := range want {
+		if !approxEq(got[k], want[k], 1e-8) {
+			t.Fatalf("cc[%d] = %g, want %g", k, got[k], want[k])
+		}
+	}
+}
+
+func TestCrossCorrelationZeroShiftIsDotProduct(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 0, 1, -1}
+	cc := CrossCorrelation(x, y)
+	wantDot := 1*2 + 2*0 + 3*1 + 4*(-1)
+	if !approxEq(cc[len(y)-1], float64(wantDot), eps) {
+		t.Fatalf("zero-shift cc = %g, want %d", cc[len(y)-1], wantDot)
+	}
+}
+
+func TestCrossCorrelationSelfPeakAtZeroShift(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(80)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		cc := CrossCorrelation(x, x)
+		peak := cc[n-1]
+		for _, v := range cc {
+			if v > peak+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossCorrelationEmpty(t *testing.T) {
+	if got := CrossCorrelation(nil, []float64{1}); got != nil {
+		t.Errorf("expected nil for empty x, got %v", got)
+	}
+	if got := CrossCorrelation([]float64{1}, nil); got != nil {
+		t.Errorf("expected nil for empty y, got %v", got)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5}
+	// [1*4, 1*5+2*4, 2*5+3*4, 3*5] = [4, 13, 22, 15]
+	want := []float64{4, 13, 22, 15}
+	got := Convolve(x, y)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !approxEq(got[i], want[i], eps) {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPlanMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 73
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	want := CrossCorrelation(x, y)
+	p := NewPlan(x)
+	if p.Len() != n {
+		t.Fatalf("plan length %d, want %d", p.Len(), n)
+	}
+	got := p.CrossCorrelate(y)
+	for k := range want {
+		if !approxEq(got[k], want[k], 1e-8) {
+			t.Fatalf("plan cc[%d] = %g, want %g", k, got[k], want[k])
+		}
+	}
+	q := NewPlan(y)
+	got2 := p.CrossCorrelateWith(q)
+	for k := range want {
+		if !approxEq(got2[k], want[k], 1e-8) {
+			t.Fatalf("plan-plan cc[%d] = %g, want %g", k, got2[k], want[k])
+		}
+	}
+}
+
+func TestPlanLengthMismatchPanics(t *testing.T) {
+	p := NewPlan([]float64{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	p.CrossCorrelate([]float64{1, 2})
+}
+
+func BenchmarkForwardPow2(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x := randComplex(rng, 1024)
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		Forward(buf)
+	}
+}
+
+func BenchmarkForwardBluestein(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randComplex(rng, 1000)
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		Forward(buf)
+	}
+}

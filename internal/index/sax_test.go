@@ -1,0 +1,184 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/lockstep"
+)
+
+func TestSAXBreakpointsEquiprobable(t *testing.T) {
+	// Alphabet 4 breakpoints are the normal quartiles ~ -0.6745, 0, 0.6745.
+	b := saxBreakpoints(4)
+	want := []float64{-0.6745, 0, 0.6745}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-3 {
+			t.Fatalf("breakpoints = %v, want ~%v", b, want)
+		}
+	}
+	// Monotone for all supported alphabets.
+	for a := 2; a <= 16; a++ {
+		bp := saxBreakpoints(a)
+		for i := 1; i < len(bp); i++ {
+			if bp[i] <= bp[i-1] {
+				t.Fatalf("alphabet %d: breakpoints not increasing: %v", a, bp)
+			}
+		}
+	}
+}
+
+func TestSAXAlphabetRangePanics(t *testing.T) {
+	for _, a := range []int{1, 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alphabet %d: expected panic", a)
+				}
+			}()
+			saxBreakpoints(a)
+		}()
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := map[float64]float64{0.5: 0, 0.975: 1.95996, 0.025: -1.95996, 0.95: 1.64485}
+	for p, want := range cases {
+		if got := normQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("normQuantile(%g) = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestSymbolize(t *testing.T) {
+	s := NewSAX(4, 4)
+	// Strongly increasing z-normalized ramp: symbols should be
+	// non-decreasing and span low to high.
+	x := dataset.ZNormalize([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	w := s.Symbolize(x)
+	if len(w) != 4 {
+		t.Fatalf("word length %d", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] < w[i-1] {
+			t.Fatalf("ramp word not monotone: %v", w)
+		}
+	}
+	if w[0] != 0 || w[3] != 3 {
+		t.Fatalf("ramp word should span the alphabet: %v", w)
+	}
+}
+
+func TestMinDistIsLowerBound(t *testing.T) {
+	ed := lockstep.Euclidean()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 16 + rng.Intn(80)
+		x := dataset.ZNormalize(randSeries(rng, m))
+		y := dataset.ZNormalize(randSeries(rng, m))
+		s := NewSAX(4+rng.Intn(8), 3+rng.Intn(10))
+		lb := s.MinDist(s.Symbolize(x), s.Symbolize(y), m)
+		return lb <= ed.Distance(x, y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDistIdenticalWordsIsZero(t *testing.T) {
+	s := NewSAX(8, 6)
+	rng := rand.New(rand.NewSource(1))
+	x := dataset.ZNormalize(randSeries(rng, 64))
+	w := s.Symbolize(x)
+	if d := s.MinDist(w, w, 64); d != 0 {
+		t.Fatalf("MinDist of identical words = %g", d)
+	}
+}
+
+func TestMinDistAdjacentSymbolsFree(t *testing.T) {
+	s := NewSAX(1, 4)
+	if s.cellDist(1, 2) != 0 || s.cellDist(2, 1) != 0 || s.cellDist(0, 1) != 0 {
+		t.Fatal("adjacent symbols must cost 0")
+	}
+	if s.cellDist(0, 3) <= 0 {
+		t.Fatal("distant symbols must cost > 0")
+	}
+}
+
+func TestMinDistWordMismatchPanics(t *testing.T) {
+	s := NewSAX(2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.MinDist([]int{0}, []int{0, 1}, 8)
+}
+
+func TestDFTCoefficientsParseval(t *testing.T) {
+	// With all (m+1)/2 coefficients and the conjugate weighting, the lower
+	// bound becomes exactly the ED for odd-length series.
+	rng := rand.New(rand.NewSource(2))
+	m := 31
+	x := randSeries(rng, m)
+	y := randSeries(rng, m)
+	full := (m + 1) / 2
+	lb := DFTLowerBound(DFTCoefficients(x, full), DFTCoefficients(y, full))
+	ed := lockstep.Euclidean().Distance(x, y)
+	if math.Abs(lb-ed) > 1e-8 {
+		t.Fatalf("full-spectrum DFT bound %g != ED %g", lb, ed)
+	}
+}
+
+func TestDFTLowerBoundProperty(t *testing.T) {
+	ed := lockstep.Euclidean()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 8 + rng.Intn(64)
+		k := 1 + rng.Intn(8)
+		x := randSeries(rng, m)
+		y := randSeries(rng, m)
+		lb := DFTLowerBound(DFTCoefficients(x, k), DFTCoefficients(y, k))
+		return lb <= ed.Distance(x, y)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDFTLowerBoundTightensWithMoreCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := 64
+	x := randSeries(rng, m)
+	y := randSeries(rng, m)
+	prev := -1.0
+	for k := 1; k <= 16; k++ {
+		lb := DFTLowerBound(DFTCoefficients(x, k), DFTCoefficients(y, k))
+		if lb < prev-1e-9 {
+			t.Fatalf("bound shrank with more coefficients at k=%d: %g < %g", k, lb, prev)
+		}
+		prev = lb
+	}
+}
+
+func TestDFTLowerBoundMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DFTLowerBound(make([]complex128, 2), make([]complex128, 3))
+}
+
+func TestDFTCoefficientsEmptyAndClamp(t *testing.T) {
+	if DFTCoefficients(nil, 3) != nil {
+		t.Fatal("empty series should give nil")
+	}
+	// Even length: Nyquist excluded.
+	got := DFTCoefficients(make([]float64, 8), 100)
+	if len(got) != 4 {
+		t.Fatalf("clamped length %d, want 4", len(got))
+	}
+}

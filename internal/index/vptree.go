@@ -1,0 +1,164 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/measure"
+)
+
+// VPTree is a vantage-point tree: an exact metric index over any distance
+// measure satisfying the triangle inequality. Among the paper's elastic
+// measures MSM, ERP, and TWE are metrics, so the new state-of-the-art
+// measures are indexable this way even though they lack DFT-style lower
+// bounds.
+type VPTree struct {
+	m      measure.Measure
+	series [][]float64
+	root   *vpNode
+}
+
+type vpNode struct {
+	idx     int     // vantage point (index into series)
+	radius  float64 // median distance of the inside subtree
+	inside  *vpNode // points with d(vp, x) <= radius
+	outside *vpNode
+}
+
+// NewVPTree builds the tree over the reference series with the given
+// metric. Construction performs O(n log n) distance computations. The seed
+// drives vantage-point selection.
+func NewVPTree(refs [][]float64, m measure.Measure, seed int64) *VPTree {
+	if len(refs) == 0 {
+		panic("index: no reference series")
+	}
+	t := &VPTree{m: m, series: refs}
+	idxs := make([]int, len(refs))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.root = t.build(idxs, rng)
+	return t
+}
+
+func (t *VPTree) build(idxs []int, rng *rand.Rand) *vpNode {
+	if len(idxs) == 0 {
+		return nil
+	}
+	// Pick a random vantage point and move it to the front.
+	p := rng.Intn(len(idxs))
+	idxs[0], idxs[p] = idxs[p], idxs[0]
+	node := &vpNode{idx: idxs[0]}
+	rest := idxs[1:]
+	if len(rest) == 0 {
+		return node
+	}
+	type distIdx struct {
+		i int
+		d float64
+	}
+	ds := make([]distIdx, len(rest))
+	vp := t.series[node.idx]
+	for k, i := range rest {
+		ds[k] = distIdx{i: i, d: t.m.Distance(vp, t.series[i])}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	mid := len(ds) / 2
+	node.radius = ds[mid].d
+	inside := make([]int, 0, mid+1)
+	outside := make([]int, 0, len(ds)-mid)
+	for _, di := range ds {
+		if di.d <= node.radius {
+			inside = append(inside, di.i)
+		} else {
+			outside = append(outside, di.i)
+		}
+	}
+	node.inside = t.build(inside, rng)
+	node.outside = t.build(outside, rng)
+	return node
+}
+
+// NN returns the nearest reference to q under the tree's metric, its
+// distance, and the number of exact distance computations performed.
+// Exactness relies on the measure being a metric; for non-metric measures
+// the result may miss the true neighbor (use a linear scan instead).
+func (t *VPTree) NN(q []float64) (best int, dist float64, computed int) {
+	best = -1
+	dist = math.Inf(1)
+	var search func(n *vpNode)
+	search = func(n *vpNode) {
+		if n == nil {
+			return
+		}
+		d := t.m.Distance(q, t.series[n.idx])
+		computed++
+		if d < dist {
+			dist = d
+			best = n.idx
+		}
+		// Triangle-inequality pruning: the inside ball can contain a better
+		// point only if d - dist <= radius; the outside region only if
+		// d + dist >= radius.
+		if d < n.radius {
+			search(n.inside)
+			if d+dist >= n.radius {
+				search(n.outside)
+			}
+		} else {
+			search(n.outside)
+			if d-dist <= n.radius {
+				search(n.inside)
+			}
+		}
+	}
+	search(t.root)
+	return best, dist, computed
+}
+
+// Size returns the number of indexed series.
+func (t *VPTree) Size() int { return len(t.series) }
+
+// Validate checks the tree's structural invariant (every inside descendant
+// within the radius, every outside descendant beyond) and returns the
+// first violation; used by tests.
+func (t *VPTree) Validate() error {
+	var walk func(n *vpNode) error
+	walk = func(n *vpNode) error {
+		if n == nil {
+			return nil
+		}
+		vp := t.series[n.idx]
+		var check func(c *vpNode, inside bool) error
+		check = func(c *vpNode, inside bool) error {
+			if c == nil {
+				return nil
+			}
+			d := t.m.Distance(vp, t.series[c.idx])
+			if inside && d > n.radius {
+				return fmt.Errorf("index: inside point %d at %g > radius %g", c.idx, d, n.radius)
+			}
+			if !inside && d <= n.radius {
+				return fmt.Errorf("index: outside point %d at %g <= radius %g", c.idx, d, n.radius)
+			}
+			if err := check(c.inside, inside); err != nil {
+				return err
+			}
+			return check(c.outside, inside)
+		}
+		if err := check(n.inside, true); err != nil {
+			return err
+		}
+		if err := check(n.outside, false); err != nil {
+			return err
+		}
+		if err := walk(n.inside); err != nil {
+			return err
+		}
+		return walk(n.outside)
+	}
+	return walk(t.root)
+}

@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi method. It returns the eigenvalues in descending
+// order and a matrix whose COLUMNS are the corresponding orthonormal
+// eigenvectors, so that a == V * diag(values) * V^T.
+//
+// The input is not modified. EigenSym panics if a is not square; symmetry is
+// assumed (only the upper triangle drives the rotations, applied
+// symmetrically). The Jacobi method is O(n^3) per sweep and converges in a
+// handful of sweeps for the moderate sizes (<= a few hundred) used by the
+// embedding measures.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("linalg: EigenSym on non-square %dx%d matrix", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := Identity(n)
+	if n == 0 {
+		return nil, v
+	}
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				// Apply the rotation G(p, q, theta) on both sides: w = G^T w G.
+				for k := 0; k < n; k++ {
+					wkp := w.At(k, p)
+					wkq := w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk := w.At(p, k)
+					wqk := w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp := v.At(k, p)
+					vkq := v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sorted := make([]float64, n)
+	vec := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sorted[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			vec.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sorted, vec
+}
+
+// Identity returns the n-by-n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

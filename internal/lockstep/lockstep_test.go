@@ -1,0 +1,409 @@
+package lockstep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/measure"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-10 }
+
+// positivePair returns two random series in (0.1, 1.1), the domain where
+// every probability-style measure is well defined.
+func positivePair(rng *rand.Rand, n int) (x, y []float64) {
+	x = make([]float64, n)
+	y = make([]float64, n)
+	for i := range x {
+		x[i] = 0.1 + rng.Float64()
+		y[i] = 0.1 + rng.Float64()
+	}
+	return x, y
+}
+
+func TestEuclideanKnown(t *testing.T) {
+	d := Euclidean().Distance([]float64{0, 0}, []float64{3, 4})
+	if !almostEq(d, 5) {
+		t.Fatalf("ED = %g, want 5", d)
+	}
+}
+
+func TestManhattanKnown(t *testing.T) {
+	d := Manhattan().Distance([]float64{1, 2, 3}, []float64{2, 0, 6})
+	if !almostEq(d, 6) {
+		t.Fatalf("L1 = %g, want 6", d)
+	}
+}
+
+func TestChebyshevKnown(t *testing.T) {
+	d := Chebyshev().Distance([]float64{1, 5}, []float64{2, 1})
+	if !almostEq(d, 4) {
+		t.Fatalf("Linf = %g, want 4", d)
+	}
+}
+
+func TestMinkowskiSpecialCases(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 0, 3}
+	if !almostEq(Minkowski(2).Distance(x, y), Euclidean().Distance(x, y)) {
+		t.Error("Minkowski(2) != Euclidean")
+	}
+	if !almostEq(Minkowski(1).Distance(x, y), Manhattan().Distance(x, y)) {
+		t.Error("Minkowski(1) != Manhattan")
+	}
+}
+
+func TestLorentzianKnown(t *testing.T) {
+	d := Lorentzian().Distance([]float64{0, 0}, []float64{math.E - 1, 0})
+	if !almostEq(d, 1) {
+		t.Fatalf("Lorentzian = %g, want 1", d)
+	}
+}
+
+func TestSorensenEqualsCzekanowski(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := positivePair(rng, 40)
+	if !almostEq(Sorensen().Distance(x, y), Czekanowski().Distance(x, y)) {
+		t.Error("Sorensen and Czekanowski must coincide")
+	}
+}
+
+func TestGowerIsScaledManhattan(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := positivePair(rng, 25)
+	if !almostEq(Gower().Distance(x, y)*25, Manhattan().Distance(x, y)) {
+		t.Error("Gower must equal Manhattan / n")
+	}
+}
+
+func TestIntersectionIsHalfL1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := positivePair(rng, 30)
+	if !almostEq(Intersection().Distance(x, y)*2, Manhattan().Distance(x, y)) {
+		t.Error("Intersection must equal L1/2")
+	}
+}
+
+func TestRuzickaTanimotoRelation(t *testing.T) {
+	// Tanimoto = (summax - summin)/summax; Ruzicka = 1 - summin/summax.
+	// They are identical.
+	rng := rand.New(rand.NewSource(4))
+	x, y := positivePair(rng, 30)
+	if !almostEq(Ruzicka().Distance(x, y), Tanimoto().Distance(x, y)) {
+		t.Error("Ruzicka and Tanimoto must coincide on positive data")
+	}
+}
+
+func TestMotykaRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := positivePair(rng, 30)
+	d := Motyka().Distance(x, y)
+	if d < 0.5 || d > 1 {
+		t.Fatalf("Motyka = %g, want in [0.5, 1] for positive data", d)
+	}
+}
+
+func TestCosineRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		d := Cosine().Distance(x, y)
+		return d >= -1e-12 && d <= 2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineParallelAndOpposite(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{2, 4, 6}
+	if !almostEq(Cosine().Distance(x, y), 0) {
+		t.Error("parallel vectors should have cosine distance 0")
+	}
+	neg := []float64{-1, -2, -3}
+	if !almostEq(Cosine().Distance(x, neg), 2) {
+		t.Error("opposite vectors should have cosine distance 2")
+	}
+}
+
+func TestInnerProductOrdering(t *testing.T) {
+	x := []float64{1, 0, 1}
+	close := []float64{1, 0, 1}
+	far := []float64{-1, 0, -1}
+	if InnerProduct().Distance(x, close) >= InnerProduct().Distance(x, far) {
+		t.Error("inner product distance must rank aligned vectors closer")
+	}
+}
+
+func TestJaccardDiceKnown(t *testing.T) {
+	x := []float64{1, 1}
+	y := []float64{1, 0}
+	// sum(x-y)^2 = 1; sumxx=2 sumyy=1 sumxy=1.
+	if !almostEq(Jaccard().Distance(x, y), 1.0/2.0) {
+		t.Fatalf("Jaccard = %g, want 0.5", Jaccard().Distance(x, y))
+	}
+	if !almostEq(Dice().Distance(x, y), 1.0/3.0) {
+		t.Fatalf("Dice = %g, want 1/3", Dice().Distance(x, y))
+	}
+}
+
+func TestFidelityFamilyOnProbabilities(t *testing.T) {
+	// On identical probability vectors: fidelity similarity = 1 -> dist 0,
+	// Bhattacharyya = -ln(1) = 0, Hellinger/Matusita/SquaredChord = 0.
+	p := []float64{0.2, 0.3, 0.5}
+	for _, m := range []measure.Measure{Fidelity(), Bhattacharyya(), Hellinger(), Matusita(), SquaredChord()} {
+		if d := m.Distance(p, p); !almostEq(d, 0) {
+			t.Errorf("%s(p, p) = %g, want 0", m.Name(), d)
+		}
+	}
+}
+
+func TestHellingerMatusitaRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := positivePair(rng, 20)
+	h := Hellinger().Distance(x, y)
+	m := Matusita().Distance(x, y)
+	if !almostEq(h, m*math.Sqrt2) {
+		t.Fatalf("Hellinger %g != sqrt(2)*Matusita %g", h, m*math.Sqrt2)
+	}
+	sc := SquaredChord().Distance(x, y)
+	if !almostEq(sc, m*m) {
+		t.Fatalf("SquaredChord %g != Matusita^2 %g", sc, m*m)
+	}
+}
+
+func TestChiSquaredFamilyRelations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := positivePair(rng, 25)
+	if !almostEq(ProbSymmetricChiSq().Distance(x, y), 2*SquaredChiSq().Distance(x, y)) {
+		t.Error("ProbSymmetric must equal 2*SquaredChiSq")
+	}
+	if !almostEq(SquaredEuclidean().Distance(x, y), math.Pow(Euclidean().Distance(x, y), 2)) {
+		t.Error("SquaredEuclidean must equal ED^2")
+	}
+	// Emanon5 >= Emanon6 by construction.
+	if Emanon5().Distance(x, y) < Emanon6().Distance(x, y) {
+		t.Error("Emanon5 (max) must be >= Emanon6 (min)")
+	}
+	// Pearson with roles swapped equals Neyman.
+	if !almostEq(PearsonChiSq().Distance(x, y), NeymanChiSq().Distance(y, x)) {
+		t.Error("Pearson(x,y) must equal Neyman(y,x)")
+	}
+}
+
+func TestEntropyFamilyOnProbabilities(t *testing.T) {
+	p := []float64{0.1, 0.4, 0.5}
+	q := []float64{0.3, 0.3, 0.4}
+	kl := KullbackLeibler().Distance(p, q)
+	if kl <= 0 {
+		t.Fatalf("KL(p||q) = %g, want > 0 for p != q", kl)
+	}
+	if d := KullbackLeibler().Distance(p, p); !almostEq(d, 0) {
+		t.Fatalf("KL(p||p) = %g", d)
+	}
+	// Jeffreys is the symmetrized KL: KL(p||q) + KL(q||p).
+	j := Jeffreys().Distance(p, q)
+	if !almostEq(j, kl+KullbackLeibler().Distance(q, p)) {
+		t.Fatalf("Jeffreys %g != symmetrized KL", j)
+	}
+	// Topsoe = 2 * JensenShannon.
+	if !almostEq(Topsoe().Distance(p, q), 2*JensenShannon().Distance(p, q)) {
+		t.Error("Topsoe must equal 2*JS")
+	}
+	// Jensen-Shannon equals Jensen difference on probabilities.
+	if !almostEq(JensenShannon().Distance(p, q), JensenDifference().Distance(p, q)) {
+		t.Error("JS must equal Jensen difference")
+	}
+}
+
+func TestEntropyGuardsOnZScoredData(t *testing.T) {
+	// Entropy measures on data with non-positive values must not NaN: they
+	// must return +Inf (ranked last), as the evaluation layer requires.
+	x := []float64{-1, 0, 1}
+	y := []float64{1, -1, 0}
+	for _, m := range []measure.Measure{
+		KullbackLeibler(), Jeffreys(), KDivergence(), Topsoe(),
+		JensenShannon(), JensenDifference(), Taneja(), KumarJohnson(),
+	} {
+		d := m.Distance(x, y)
+		if math.IsNaN(d) {
+			t.Errorf("%s returned NaN on signed data, want +Inf or finite", m.Name())
+		}
+	}
+}
+
+func TestAllMeasuresTotalOnRandomData(t *testing.T) {
+	// No measure may return NaN on any input; +Inf is the only legal
+	// "undefined" marker.
+	rng := rand.New(rand.NewSource(8))
+	inputs := [][2][]float64{}
+	for trial := 0; trial < 5; trial++ {
+		n := 4 + rng.Intn(60)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 3
+			y[i] = rng.NormFloat64() * 3
+		}
+		inputs = append(inputs, [2][]float64{x, y})
+	}
+	// Adversarial pairs: zeros, equal series, sign flips.
+	inputs = append(inputs,
+		[2][]float64{{0, 0, 0}, {0, 0, 0}},
+		[2][]float64{{1, 2, 3}, {1, 2, 3}},
+		[2][]float64{{-1, 2, -3}, {3, -2, 1}},
+		[2][]float64{{0, 1, 0}, {1, 0, 1}},
+	)
+	for _, m := range All() {
+		for _, in := range inputs {
+			d := m.Distance(in[0], in[1])
+			if math.IsNaN(d) {
+				t.Errorf("%s returned NaN on %v vs %v", m.Name(), in[0], in[1])
+			}
+		}
+	}
+}
+
+func TestAllMeasuresZeroOnIdenticalPositiveSeries(t *testing.T) {
+	// On identical strictly positive data every distance must be <= its
+	// value on distinct data, and metrics should be exactly 0. Similarity
+	// negations (inner product family) are exempt from the zero check but
+	// must still rank the identical pair first.
+	rng := rand.New(rand.NewSource(9))
+	x, y := positivePair(rng, 30)
+	for _, m := range All() {
+		same := m.Distance(x, x)
+		diff := m.Distance(x, y)
+		if same > diff+1e-9 {
+			t.Errorf("%s: d(x,x)=%g > d(x,y)=%g", m.Name(), same, diff)
+		}
+	}
+}
+
+func TestAllMeasureNamesUnique(t *testing.T) {
+	all := All()
+	if len(all) != 53 { // 52 counted + Emanon6 bonus
+		t.Fatalf("All() has %d measures, want 53", len(all))
+	}
+	seen := map[string]bool{}
+	for _, m := range all {
+		if seen[m.Name()] {
+			t.Errorf("duplicate measure name %s", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+}
+
+func TestSymmetryOfSymmetricMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := positivePair(rng, 30)
+	symmetric := []measure.Measure{
+		Euclidean(), Manhattan(), Chebyshev(), Minkowski(3), Sorensen(),
+		Gower(), Soergel(), Kulczynski(), Canberra(), Lorentzian(),
+		Intersection(), WaveHedges(), Czekanowski(), Motyka(), KulczynskiS(),
+		Ruzicka(), Tanimoto(), InnerProduct(), HarmonicMean(), Cosine(),
+		KumarHassebrook(), Jaccard(), Dice(), Fidelity(), Bhattacharyya(),
+		Hellinger(), Matusita(), SquaredChord(), SquaredEuclidean(),
+		SquaredChiSq(), ProbSymmetricChiSq(), Divergence(), Clark(),
+		AdditiveSymmetricChiSq(), Jeffreys(), Topsoe(), JensenShannon(),
+		JensenDifference(), Taneja(), KumarJohnson(), AvgL1Linf(),
+		Emanon5(), Emanon6(), DISSIM(),
+	}
+	for _, m := range symmetric {
+		if !almostEq(m.Distance(x, y), m.Distance(y, x)) {
+			t.Errorf("%s is not symmetric: %g vs %g", m.Name(), m.Distance(x, y), m.Distance(y, x))
+		}
+	}
+}
+
+func TestTriangleInequalityForMetrics(t *testing.T) {
+	// ED, L1, Chebyshev, and Lorentzian are metrics: d(x,z) <= d(x,y)+d(y,z).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(30)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		z := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			z[i] = rng.NormFloat64()
+		}
+		for _, m := range []measure.Measure{Euclidean(), Manhattan(), Chebyshev(), Lorentzian()} {
+			if m.Distance(x, z) > m.Distance(x, y)+m.Distance(y, z)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDISSIMKnown(t *testing.T) {
+	// |diff| = [1, 3, 1] -> trapezoids (1+3)/2 + (3+1)/2 = 4.
+	d := DISSIM().Distance([]float64{1, 1, 1}, []float64{2, 4, 0})
+	if !almostEq(d, 4) {
+		t.Fatalf("DISSIM = %g, want 4", d)
+	}
+	// Degenerate lengths.
+	if !almostEq(DISSIM().Distance([]float64{3}, []float64{1}), 2) {
+		t.Fatal("single-point DISSIM should be |diff|")
+	}
+	if DISSIM().Distance(nil, nil) != 0 {
+		t.Fatal("empty DISSIM should be 0")
+	}
+}
+
+func TestASDScaleInvariance(t *testing.T) {
+	x := []float64{1, -2, 3, 0.5}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = -2.5 * x[i]
+	}
+	if d := ASD().Distance(x, y); d > 1e-9 {
+		t.Fatalf("ASD(x, -2.5x) = %g, want ~0", d)
+	}
+	zero := []float64{0, 0, 0, 0}
+	if d := ASD().Distance(x, zero); math.IsNaN(d) {
+		t.Fatal("ASD with zero series must be defined")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Euclidean().Distance([]float64{1, 2}, []float64{1})
+}
+
+func TestAvgL1LinfKnown(t *testing.T) {
+	// |diff| = [1, 4]: (5 + 4)/2 = 4.5.
+	d := AvgL1Linf().Distance([]float64{0, 0}, []float64{1, 4})
+	if !almostEq(d, 4.5) {
+		t.Fatalf("AvgL1Linf = %g, want 4.5", d)
+	}
+}
+
+func TestEmanonGuardsAtZero(t *testing.T) {
+	// min(x,y)=0 denominators must not produce NaN.
+	x := []float64{0, 1}
+	y := []float64{1, 1}
+	for _, m := range []measure.Measure{Emanon1(), Emanon2(), Emanon3(), Emanon4()} {
+		if d := m.Distance(x, y); math.IsNaN(d) {
+			t.Errorf("%s NaN at zero denominators", m.Name())
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package measure defines the common interface implemented by every
+// time-series distance measure in the library, small adapters for building
+// measures from plain functions, and the guarded arithmetic helpers shared
+// by the probability-style lock-step measures.
+//
+// A Measure maps two equal-length series to a dissimilarity value: smaller
+// means more similar. Similarity measures (inner products, kernels,
+// cross-correlations) are exposed in negated or 1-s form so that a single
+// nearest-neighbor implementation serves all five categories of the paper.
+package measure
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measure is a dissimilarity between two equal-length time series.
+type Measure interface {
+	// Name returns a stable identifier used in tables, registries, and
+	// experiment output (e.g. "lorentzian", "dtw[d=10]").
+	Name() string
+	// Distance returns the dissimilarity of x and y. Implementations may
+	// return +Inf (or NaN, treated as +Inf by the evaluation layer) when a
+	// measure is undefined for the given inputs, e.g. entropy measures on
+	// non-positive data.
+	Distance(x, y []float64) float64
+}
+
+// Stateful is an optional fast path: measures that benefit from per-series
+// precomputation (FFTs, norms, running statistics) implement it, and the
+// evaluation layer prepares each series once per dissimilarity matrix
+// instead of once per pair.
+type Stateful interface {
+	Measure
+	// Prepare computes reusable per-series state.
+	Prepare(x []float64) any
+	// PreparedDistance computes the distance from two prepared states.
+	PreparedDistance(px, py any) float64
+}
+
+// Func adapts a plain function to the Measure interface.
+type Func struct {
+	name string
+	fn   func(x, y []float64) float64
+}
+
+// New builds a Measure from a name and a distance function.
+func New(name string, fn func(x, y []float64) float64) Func {
+	return Func{name: name, fn: fn}
+}
+
+// Name implements Measure.
+func (f Func) Name() string { return f.name }
+
+// Distance implements Measure.
+func (f Func) Distance(x, y []float64) float64 {
+	CheckSameLength(x, y)
+	return f.fn(x, y)
+}
+
+// CheckSameLength panics when the two series differ in length; every
+// lock-step, elastic, and kernel measure in this library operates on
+// equal-length series (the archive preprocessing guarantees it).
+func CheckSameLength(x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("measure: series length mismatch %d vs %d", len(x), len(y)))
+	}
+}
+
+// Guarded arithmetic for the probability-style measures of the Cha (2007)
+// survey. The convention, matching common reference implementations, is
+// that a term with a zero denominator and zero numerator contributes
+// nothing, while genuinely undefined operations (log of a non-positive
+// value with a positive weight) poison the total to +Inf so the evaluation
+// layer can rank the pair last.
+
+// Div returns num/den with the 0/0 := 0 convention; a zero denominator with
+// a non-zero numerator yields +Inf.
+func Div(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// XLogX returns x*log(x) with the limit convention 0*log(0) := 0; negative
+// x yields +Inf (undefined for the entropy family).
+func XLogX(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	if x < 0 {
+		return math.Inf(1)
+	}
+	return x * math.Log(x)
+}
+
+// XLogXOverY returns x*log(x/y) with 0*log(0/y) := 0; undefined
+// combinations (negative values, or positive x with non-positive y) yield
+// +Inf.
+func XLogXOverY(x, y float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	if x < 0 || y <= 0 {
+		return math.Inf(1)
+	}
+	return x * math.Log(x/y)
+}
+
+// SafeSqrt returns sqrt(x) for non-negative x and 0 for small negative
+// rounding noise; a substantially negative input yields NaN, poisoning the
+// measure value as undefined.
+func SafeSqrt(x float64) float64 {
+	if x < 0 {
+		if x > -1e-12 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return math.Sqrt(x)
+}
+
+// Sanitize maps NaN to +Inf so that undefined distances rank last in
+// nearest-neighbor search; finite values and +Inf pass through.
+func Sanitize(d float64) float64 {
+	if math.IsNaN(d) {
+		return math.Inf(1)
+	}
+	return d
+}

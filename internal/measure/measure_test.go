@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFuncAdapter(t *testing.T) {
+	m := New("toy", func(x, y []float64) float64 { return x[0] - y[0] })
+	if m.Name() != "toy" {
+		t.Fatalf("name = %s", m.Name())
+	}
+	if d := m.Distance([]float64{5}, []float64{2}); d != 3 {
+		t.Fatalf("distance = %g", d)
+	}
+}
+
+func TestFuncChecksLengths(t *testing.T) {
+	m := New("toy", func(x, y []float64) float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Distance([]float64{1}, []float64{1, 2})
+}
+
+func TestDiv(t *testing.T) {
+	if Div(0, 0) != 0 {
+		t.Error("0/0 must be 0 by convention")
+	}
+	if !math.IsInf(Div(1, 0), 1) {
+		t.Error("1/0 must be +Inf")
+	}
+	if Div(6, 3) != 2 {
+		t.Error("plain division broken")
+	}
+	if Div(-6, 3) != -2 {
+		t.Error("negative numerator broken")
+	}
+}
+
+func TestXLogX(t *testing.T) {
+	if XLogX(0) != 0 {
+		t.Error("0*log(0) must be 0")
+	}
+	if !math.IsInf(XLogX(-1), 1) {
+		t.Error("negative input must be +Inf")
+	}
+	if math.Abs(XLogX(math.E)-math.E) > 1e-12 {
+		t.Errorf("e*log(e) = %g, want e", XLogX(math.E))
+	}
+	if XLogX(1) != 0 {
+		t.Error("1*log(1) must be 0")
+	}
+}
+
+func TestXLogXOverY(t *testing.T) {
+	if XLogXOverY(0, 5) != 0 {
+		t.Error("x=0 must contribute 0")
+	}
+	if XLogXOverY(0, 0) != 0 {
+		t.Error("x=0 must contribute 0 even for y=0")
+	}
+	if !math.IsInf(XLogXOverY(1, 0), 1) {
+		t.Error("positive x with zero y must be +Inf")
+	}
+	if !math.IsInf(XLogXOverY(-1, 1), 1) {
+		t.Error("negative x must be +Inf")
+	}
+	if !math.IsInf(XLogXOverY(1, -1), 1) {
+		t.Error("negative y must be +Inf")
+	}
+	if math.Abs(XLogXOverY(2, 1)-2*math.Log(2)) > 1e-12 {
+		t.Error("2*log(2/1) wrong")
+	}
+}
+
+func TestSafeSqrt(t *testing.T) {
+	if SafeSqrt(4) != 2 {
+		t.Error("sqrt(4) wrong")
+	}
+	if SafeSqrt(-1e-15) != 0 {
+		t.Error("rounding noise must clamp to 0")
+	}
+	if !math.IsNaN(SafeSqrt(-1)) {
+		t.Error("substantially negative must be NaN (undefined)")
+	}
+	if SafeSqrt(0) != 0 {
+		t.Error("sqrt(0) wrong")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if !math.IsInf(Sanitize(math.NaN()), 1) {
+		t.Error("NaN must become +Inf")
+	}
+	if Sanitize(1.5) != 1.5 {
+		t.Error("finite passes through")
+	}
+	if !math.IsInf(Sanitize(math.Inf(1)), 1) {
+		t.Error("+Inf passes through")
+	}
+	if !math.IsInf(Sanitize(math.Inf(-1)), -1) {
+		t.Error("-Inf passes through")
+	}
+}
+
+func TestCheckSameLength(t *testing.T) {
+	CheckSameLength([]float64{1, 2}, []float64{3, 4}) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CheckSameLength([]float64{1}, nil)
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CDDiagram renders an ASCII critical-difference diagram: methods are
+// placed on a rank axis from 1 (best, left) to k (worst, right), and bars of
+// '=' characters connect groups whose rank difference is below the critical
+// difference, mirroring the figures of the paper.
+func CDDiagram(names []string, avgRanks []float64, cd float64) string {
+	k := len(names)
+	if k == 0 || k != len(avgRanks) {
+		return ""
+	}
+	const width = 72
+	minR, maxR := 1.0, float64(k)
+	span := maxR - minR
+	if span == 0 {
+		span = 1
+	}
+	pos := func(r float64) int {
+		p := int((r - minR) / span * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Critical difference: %.4f (rank axis 1..%d, lower rank = better)\n", cd, k)
+
+	// Axis line with tick marks at integer ranks.
+	axis := make([]byte, width)
+	for i := range axis {
+		axis[i] = '-'
+	}
+	for r := 1; r <= k; r++ {
+		axis[pos(float64(r))] = '+'
+	}
+	b.Write(axis)
+	b.WriteByte('\n')
+
+	// Group connector bars.
+	groups := NemenyiGroups(avgRanks, cd)
+	for _, g := range groups {
+		lo, hi := avgRanks[g[0]], avgRanks[g[0]]
+		for _, m := range g {
+			if avgRanks[m] < lo {
+				lo = avgRanks[m]
+			}
+			if avgRanks[m] > hi {
+				hi = avgRanks[m]
+			}
+		}
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		for i := pos(lo); i <= pos(hi); i++ {
+			line[i] = '='
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+
+	// One labelled line per method, best first.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return avgRanks[order[a]] < avgRanks[order[b]] })
+	for _, m := range order {
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		line[pos(avgRanks[m])] = '|'
+		fmt.Fprintf(&b, "%s %-24s rank %.3f\n", line, names[m], avgRanks[m])
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+// Package stats implements the statistical machinery of the evaluation:
+// rank computation with ties, the Wilcoxon signed-rank test for pairwise
+// measure comparisons, the Friedman test with the post-hoc Nemenyi test for
+// comparing multiple measures over multiple datasets, and ASCII
+// critical-difference diagrams in the style of Demšar (2006).
+package stats
+
+import (
+	"math"
+)
+
+// NormalCDF returns P(Z <= z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// ChiSquaredCDF returns P(X <= x) for a chi-squared variable with df degrees
+// of freedom. It evaluates the regularized lower incomplete gamma function
+// P(df/2, x/2).
+func ChiSquaredCDF(x float64, df float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncGammaLower(df/2, x/2)
+}
+
+// regIncGammaLower computes the regularized lower incomplete gamma function
+// P(a, x) = gamma(a, x) / Gamma(a) using the series expansion for x < a+1
+// and the continued fraction for the complement otherwise (Numerical
+// Recipes style).
+func regIncGammaLower(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const tiny = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// FDistCDF returns P(X <= x) for an F distribution with d1 and d2 degrees of
+// freedom, via the regularized incomplete beta function. It is used by the
+// Iman–Davenport refinement of the Friedman test.
+func FDistCDF(x, d1, d2 float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regIncBeta(d1/2, d2/2, d1*x/(d1*x+d2))
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// via its continued-fraction expansion.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const tiny = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m < 500; m++ {
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return h
+}

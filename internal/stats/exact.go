@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// exactWilcoxonThreshold is the largest sample size for which the exact
+// permutation distribution of the signed-rank statistic is computed; the
+// normal approximation takes over beyond it.
+const exactWilcoxonThreshold = 25
+
+// exactWilcoxonP computes the exact two-sided p-value of the signed-rank
+// statistic by dynamic programming over the 2^n sign assignments: with
+// ranks r_1..r_n (midranks doubled to integers), it counts the subsets
+// whose rank sum is <= the observed smaller rank sum W. Runs in
+// O(n * totalSum) time and space.
+func exactWilcoxonP(ranks []float64, w float64) float64 {
+	n := len(ranks)
+	if n == 0 {
+		return 1
+	}
+	// Double the ranks so midranks (x.5) become integers.
+	ints := make([]int, n)
+	total := 0
+	for i, r := range ranks {
+		ints[i] = int(math.Round(2 * r))
+		total += ints[i]
+	}
+	wInt := int(math.Floor(2*w + 1e-9))
+	if wInt < 0 {
+		wInt = 0
+	}
+	if wInt > total {
+		wInt = total
+	}
+	// counts[s] = number of subsets with rank sum exactly s.
+	counts := make([]float64, total+1)
+	counts[0] = 1
+	for _, r := range ints {
+		for s := total; s >= r; s-- {
+			if counts[s-r] != 0 {
+				counts[s] += counts[s-r]
+			}
+		}
+	}
+	var atOrBelow float64
+	for s := 0; s <= wInt; s++ {
+		atOrBelow += counts[s]
+	}
+	p := 2 * atOrBelow / math.Pow(2, float64(n))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// HolmCorrection applies the Holm step-down procedure to a family of
+// p-values at level alpha, the multiple-comparison control Demšar
+// recommends when one baseline is compared against k-1 measures. It
+// returns, for each input p-value, whether its null hypothesis is
+// rejected. The input is not modified.
+func HolmCorrection(pvalues []float64, alpha float64) []bool {
+	k := len(pvalues)
+	reject := make([]bool, k)
+	if k == 0 {
+		return reject
+	}
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pvalues[order[a]] < pvalues[order[b]] })
+	for step, idx := range order {
+		if pvalues[idx] <= alpha/float64(k-step) {
+			reject[idx] = true
+		} else {
+			break // step-down: once one fails, all larger p-values fail
+		}
+	}
+	return reject
+}
+
+// BonferroniCorrection applies the (more conservative) Bonferroni
+// correction: each p-value is tested against alpha/k.
+func BonferroniCorrection(pvalues []float64, alpha float64) []bool {
+	k := len(pvalues)
+	reject := make([]bool, k)
+	for i, p := range pvalues {
+		reject[i] = p <= alpha/float64(k)
+	}
+	return reject
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceWilcoxonP enumerates all 2^n sign assignments to compute the
+// exact two-sided p-value for comparison with the DP implementation.
+func bruteForceWilcoxonP(ranks []float64, w float64) float64 {
+	n := len(ranks)
+	atOrBelow := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sum += ranks[i]
+			}
+		}
+		if sum <= w+1e-9 {
+			atOrBelow++
+		}
+	}
+	p := 2 * float64(atOrBelow) / math.Pow(2, float64(n))
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func TestExactWilcoxonMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(10)
+		ranks := Ranks(func() []float64 {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(rng.Intn(6)) // force tied midranks
+			}
+			return v
+		}(), 0)
+		w := rng.Float64() * float64(n*(n+1)) / 4
+		got := exactWilcoxonP(ranks, w)
+		want := bruteForceWilcoxonP(ranks, w)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d w=%g: exact %g != brute %g (ranks %v)", n, w, got, want, ranks)
+		}
+	}
+}
+
+func TestExactWilcoxonKnownCriticalValue(t *testing.T) {
+	// Classic table: n=6, W=0 has exact two-sided p = 2/64 = 0.03125.
+	ranks := []float64{1, 2, 3, 4, 5, 6}
+	if got := exactWilcoxonP(ranks, 0); math.Abs(got-2.0/64.0) > 1e-12 {
+		t.Fatalf("p = %g, want 0.03125", got)
+	}
+	// W at the distribution midpoint gives p capped at 1.
+	if got := exactWilcoxonP(ranks, 21); got != 1 {
+		t.Fatalf("midpoint p = %g, want 1", got)
+	}
+}
+
+func TestWilcoxonUsesExactForSmallSamples(t *testing.T) {
+	// A perfect one-sided shift with n=6: exact p = 0.03125 < 0.05, so the
+	// small-sample test is decisive where the normal approximation with
+	// continuity correction would be borderline.
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{0.5, 1.4, 2.3, 3.2, 4.1, 5.0}
+	r := Wilcoxon(x, y)
+	if math.Abs(r.PValue-0.03125) > 1e-9 {
+		t.Fatalf("small-sample p = %g, want exact 0.03125", r.PValue)
+	}
+	if r.Z != 0 {
+		t.Fatalf("exact path should not set Z, got %g", r.Z)
+	}
+}
+
+func TestHolmCorrection(t *testing.T) {
+	// Demšar-style example: 4 hypotheses at alpha = 0.05.
+	// Sorted: 0.01 <= 0.05/4 = 0.0125 (reject), 0.012 <= 0.05/3 = 0.0167
+	// (reject), 0.04 > 0.05/2 = 0.025 (stop).
+	p := []float64{0.01, 0.04, 0.012, 0.5}
+	rejected := HolmCorrection(p, 0.05)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if rejected[i] != want[i] {
+			t.Fatalf("Holm = %v, want %v", rejected, want)
+		}
+	}
+}
+
+func TestHolmStepDownStops(t *testing.T) {
+	// Once one hypothesis fails, no larger p-value may be rejected even if
+	// it would pass its own threshold in isolation.
+	p := []float64{0.02, 0.02, 0.04}
+	rejected := HolmCorrection(p, 0.05)
+	// Sorted: 0.02 > 0.05/3 = 0.0167 -> nothing rejected.
+	for i, r := range rejected {
+		if r {
+			t.Fatalf("hypothesis %d rejected, want none", i)
+		}
+	}
+}
+
+func TestHolmEmpty(t *testing.T) {
+	if len(HolmCorrection(nil, 0.05)) != 0 {
+		t.Fatal("empty input must give empty output")
+	}
+}
+
+func TestBonferroniMoreConservativeThanHolm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + rng.Intn(10)
+		p := make([]float64, k)
+		for i := range p {
+			p[i] = rng.Float64() * 0.2
+		}
+		holm := HolmCorrection(p, 0.05)
+		bonf := BonferroniCorrection(p, 0.05)
+		for i := range p {
+			if bonf[i] && !holm[i] {
+				t.Fatalf("Bonferroni rejected %d but Holm did not: p=%v", i, p)
+			}
+		}
+	}
+}

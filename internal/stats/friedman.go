@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// FriedmanResult holds the outcome of a Friedman test over an n-datasets by
+// k-methods score matrix.
+type FriedmanResult struct {
+	N            int       // datasets
+	K            int       // methods
+	AvgRanks     []float64 // average rank per method (rank 1 = best)
+	ChiSq        float64   // Friedman chi-squared statistic
+	PValue       float64   // from the chi-squared approximation, k-1 df
+	ImanDavenF   float64   // Iman–Davenport F statistic
+	ImanDavenP   float64   // p-value of the F refinement
+	Significant  bool      // PValue < alpha
+	Alpha        float64
+	CriticalDiff float64 // Nemenyi critical difference at the same alpha
+}
+
+// Friedman runs the Friedman test on scores (scores[i][j] = score of method
+// j on dataset i, higher is better) at the given alpha, and precomputes the
+// Nemenyi critical difference for the post-hoc analysis. The paper uses
+// alpha = 0.10 for this test family. It panics if the matrix is ragged,
+// has fewer than 2 methods, or no datasets.
+func Friedman(scores [][]float64, alpha float64) FriedmanResult {
+	n := len(scores)
+	if n == 0 {
+		panic("stats: Friedman with no datasets")
+	}
+	k := len(scores[0])
+	if k < 2 {
+		panic("stats: Friedman needs at least 2 methods")
+	}
+	avg := AverageRanks(scores)
+	nf, kf := float64(n), float64(k)
+	var sumSq float64
+	for _, r := range avg {
+		sumSq += r * r
+	}
+	chi := 12 * nf / (kf * (kf + 1)) * (sumSq - kf*(kf+1)*(kf+1)/4)
+	p := 1 - ChiSquaredCDF(chi, kf-1)
+	res := FriedmanResult{
+		N: n, K: k, AvgRanks: avg,
+		ChiSq: chi, PValue: p,
+		Alpha:        alpha,
+		CriticalDiff: NemenyiCD(k, n, alpha),
+	}
+	// Iman–Davenport refinement: less conservative than chi-squared.
+	den := nf*(kf-1) - chi
+	if den > 0 {
+		res.ImanDavenF = (nf - 1) * chi / den
+		res.ImanDavenP = 1 - FDistCDF(res.ImanDavenF, kf-1, (kf-1)*(nf-1))
+	} else {
+		res.ImanDavenF = math.Inf(1)
+		res.ImanDavenP = 0
+	}
+	res.Significant = res.PValue < alpha
+	return res
+}
+
+// qAlpha05 and qAlpha10 are critical values q_alpha/sqrt(2) of the
+// studentized range statistic with infinite degrees of freedom, indexed by
+// the number of methods k (entries 2..20), as tabulated for the Nemenyi
+// test (Demšar 2006 and extensions).
+var qAlpha05 = map[int]float64{
+	2: 1.960, 3: 2.343, 4: 2.569, 5: 2.728, 6: 2.850, 7: 2.949, 8: 3.031,
+	9: 3.102, 10: 3.164, 11: 3.219, 12: 3.268, 13: 3.313, 14: 3.354,
+	15: 3.391, 16: 3.426, 17: 3.458, 18: 3.489, 19: 3.517, 20: 3.544,
+}
+
+var qAlpha10 = map[int]float64{
+	2: 1.645, 3: 2.052, 4: 2.291, 5: 2.459, 6: 2.589, 7: 2.693, 8: 2.780,
+	9: 2.855, 10: 2.920, 11: 2.978, 12: 3.030, 13: 3.077, 14: 3.120,
+	15: 3.159, 16: 3.196, 17: 3.230, 18: 3.261, 19: 3.291, 20: 3.319,
+}
+
+// NemenyiCD returns the critical difference of the Nemenyi post-hoc test
+// for k methods over n datasets at significance level alpha (0.05 or 0.10):
+// two methods differ significantly when their average ranks differ by at
+// least CD = q_alpha * sqrt(k(k+1)/(6n)). It panics for unsupported alpha
+// or k outside 2..20.
+func NemenyiCD(k, n int, alpha float64) float64 {
+	var table map[int]float64
+	switch alpha {
+	case 0.05:
+		table = qAlpha05
+	case 0.10:
+		table = qAlpha10
+	default:
+		panic(fmt.Sprintf("stats: NemenyiCD unsupported alpha %g (want 0.05 or 0.10)", alpha))
+	}
+	q, ok := table[k]
+	if !ok {
+		panic(fmt.Sprintf("stats: NemenyiCD unsupported k=%d (want 2..20)", k))
+	}
+	return q * math.Sqrt(float64(k*(k+1))/(6*float64(n)))
+}
+
+// NemenyiGroups partitions methods into maximal "cliques" of methods whose
+// average ranks are within the critical difference of each other, mirroring
+// the thick connector lines of a critical-difference diagram. Methods are
+// identified by index into avgRanks. Each returned group is sorted by rank;
+// groups of size 1 are omitted.
+func NemenyiGroups(avgRanks []float64, cd float64) [][]int {
+	k := len(avgRanks)
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by ascending average rank (best first).
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && avgRanks[order[j]] < avgRanks[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var groups [][]int
+	for i := 0; i < k; i++ {
+		j := i
+		for j+1 < k && avgRanks[order[j+1]]-avgRanks[order[i]] <= cd {
+			j++
+		}
+		if j > i {
+			g := append([]int(nil), order[i:j+1]...)
+			// Keep only maximal groups: skip if contained in the previous one.
+			if len(groups) == 0 || !containsAll(groups[len(groups)-1], g) {
+				groups = append(groups, g)
+			}
+		}
+	}
+	return groups
+}
+
+func containsAll(super, sub []int) bool {
+	set := make(map[int]bool, len(super))
+	for _, v := range super {
+		set[v] = true
+	}
+	for _, v := range sub {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}

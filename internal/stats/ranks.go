@@ -1,0 +1,61 @@
+package stats
+
+import "sort"
+
+// Ranks assigns ranks 1..n to the values in ascending order, resolving ties
+// by average (midrank) assignment: equal values all receive the mean of the
+// rank positions they occupy. Values compared equal within tol are tied.
+func Ranks(values []float64, tol float64) []float64 {
+	n := len(values)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && values[idx[j+1]]-values[idx[i]] <= tol {
+			j++
+		}
+		// Positions i..j (0-based) are tied; ranks are 1-based.
+		avg := float64(i+j+2) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// AverageRanks computes the average rank of each of k methods across n
+// datasets. scores[i][j] is the score (higher is better) of method j on
+// dataset i; on each dataset the best method receives rank 1. Ties receive
+// midranks. It panics on ragged input.
+func AverageRanks(scores [][]float64) []float64 {
+	if len(scores) == 0 {
+		return nil
+	}
+	k := len(scores[0])
+	sums := make([]float64, k)
+	for _, row := range scores {
+		if len(row) != k {
+			panic("stats: ragged score matrix")
+		}
+		// Rank by descending score: negate and use ascending Ranks.
+		neg := make([]float64, k)
+		for j, v := range row {
+			neg[j] = -v
+		}
+		r := Ranks(neg, 1e-12)
+		for j := range sums {
+			sums[j] += r[j]
+		}
+	}
+	n := float64(len(scores))
+	for j := range sums {
+		sums[j] /= n
+	}
+	return sums
+}

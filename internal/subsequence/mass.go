@@ -1,0 +1,200 @@
+// Package subsequence implements FFT-based similarity search for
+// subsequences: the MASS algorithm (Mueen's Algorithm for Similarity
+// Search), which computes the z-normalized Euclidean distance between a
+// query and every subsequence of a long series in O(n log n) — the
+// "fastest similarity search" primitive the paper cites when discussing
+// ED's role in time-series querying (Section 2, M2).
+package subsequence
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+)
+
+// DistanceProfile returns the z-normalized Euclidean distance between the
+// query q and every length-|q| subsequence of t, i.e. a slice of length
+// len(t)-len(q)+1. Constant (zero-variance) subsequences or queries are
+// assigned the maximum normalized distance sqrt(2*|q|) by convention.
+// It panics when len(q) < 2 or len(q) > len(t).
+func DistanceProfile(t, q []float64) []float64 {
+	n, w := len(t), len(q)
+	if w < 2 {
+		panic(fmt.Sprintf("subsequence: query length %d < 2", w))
+	}
+	if w > n {
+		panic(fmt.Sprintf("subsequence: query length %d > series length %d", w, n))
+	}
+
+	// Query statistics. Variances are compared against a relative epsilon:
+	// a window of a constant signal accumulates rounding error in the
+	// running sums, so an exact zero test would miss it.
+	var qSum, qSumSq float64
+	for _, v := range q {
+		qSum += v
+		qSumSq += v * v
+	}
+	qMean := qSum / float64(w)
+	qStd := math.Sqrt(math.Max(0, qSumSq/float64(w)-qMean*qMean))
+	qConst := isConstantVar(qSumSq/float64(w)-qMean*qMean, qSumSq/float64(w))
+
+	// Sliding dot products t·q via one cross-correlation.
+	cc := fft.CrossCorrelation(t, q)
+	// cc index k corresponds to shift s = k-(w-1) of q against t; the dot
+	// product of q with t[s:s+w] is at s >= 0.
+	profiles := n - w + 1
+	out := make([]float64, profiles)
+
+	// Running statistics of every subsequence of t.
+	var tSum, tSumSq float64
+	for i := 0; i < w; i++ {
+		tSum += t[i]
+		tSumSq += t[i] * t[i]
+	}
+	maxDist := math.Sqrt(2 * float64(w))
+	for s := 0; s < profiles; s++ {
+		if s > 0 {
+			tSum += t[s+w-1] - t[s-1]
+			tSumSq += t[s+w-1]*t[s+w-1] - t[s-1]*t[s-1]
+		}
+		tMean := tSum / float64(w)
+		tVar := tSumSq/float64(w) - tMean*tMean
+		if tVar < 0 {
+			tVar = 0
+		}
+		tStd := math.Sqrt(tVar)
+		if qConst || isConstantVar(tVar, tSumSq/float64(w)) {
+			out[s] = maxDist
+			continue
+		}
+		dot := cc[s+w-1]
+		// z-normalized ED: sqrt(2w(1 - (dot - w*mq*mt)/(w*sq*st))).
+		corr := (dot - float64(w)*qMean*tMean) / (float64(w) * qStd * tStd)
+		if corr > 1 {
+			corr = 1
+		}
+		if corr < -1 {
+			corr = -1
+		}
+		out[s] = math.Sqrt(2 * float64(w) * (1 - corr))
+	}
+	return out
+}
+
+// isConstantVar reports whether a window variance is zero up to the
+// rounding noise of the running-sum computation, relative to the window's
+// mean square meanSq.
+func isConstantVar(variance, meanSq float64) bool {
+	return variance <= 1e-12*(meanSq+1)
+}
+
+// Match is one search hit: the starting offset of the subsequence and its
+// z-normalized Euclidean distance to the query.
+type Match struct {
+	Offset   int
+	Distance float64
+}
+
+// TopK returns the k best non-overlapping matches of q in t (an exclusion
+// zone of half the query length around each selected match suppresses
+// trivial neighbors). Results are sorted by ascending distance.
+func TopK(t, q []float64, k int) []Match {
+	profile := DistanceProfile(t, q)
+	w := len(q)
+	excl := w / 2
+	if excl < 1 {
+		excl = 1
+	}
+	taken := make([]bool, len(profile))
+	var out []Match
+	for len(out) < k {
+		best := -1
+		for i, d := range profile {
+			if taken[i] {
+				continue
+			}
+			if best == -1 || d < profile[best] {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, Match{Offset: best, Distance: profile[best]})
+		for i := best - excl; i <= best+excl; i++ {
+			if i >= 0 && i < len(taken) {
+				taken[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// MatrixProfile computes the (self-join) matrix profile of t for window w:
+// for every subsequence, the z-normalized ED to its nearest non-trivial
+// neighbor, plus the neighbor's offset. It runs DistanceProfile once per
+// subsequence (O(n^2 log n) overall — the STAMP formulation), applying an
+// exclusion zone of w/2 around each query position. The matrix profile
+// underpins motif discovery and anomaly detection, two of the paper's
+// motivating tasks.
+func MatrixProfile(t []float64, w int) (profile []float64, index []int) {
+	n := len(t)
+	if w < 2 || w > n {
+		panic(fmt.Sprintf("subsequence: window %d out of range for series length %d", w, n))
+	}
+	profiles := n - w + 1
+	profile = make([]float64, profiles)
+	index = make([]int, profiles)
+	excl := w / 2
+	if excl < 1 {
+		excl = 1
+	}
+	for i := 0; i < profiles; i++ {
+		dp := DistanceProfile(t, t[i:i+w])
+		best := -1
+		for j, d := range dp {
+			if j >= i-excl && j <= i+excl {
+				continue // trivial match
+			}
+			if best == -1 || d < dp[best] {
+				best = j
+			}
+		}
+		if best == -1 {
+			profile[i] = math.Inf(1)
+			index[i] = -1
+		} else {
+			profile[i] = dp[best]
+			index[i] = best
+		}
+	}
+	return profile, index
+}
+
+// Motif returns the best motif pair of t for window w: the two
+// subsequences with the smallest mutual z-normalized distance (the global
+// minimum of the matrix profile).
+func Motif(t []float64, w int) (i, j int, dist float64) {
+	profile, index := MatrixProfile(t, w)
+	best := 0
+	for k := range profile {
+		if profile[k] < profile[best] {
+			best = k
+		}
+	}
+	return best, index[best], profile[best]
+}
+
+// Discord returns the top anomaly of t for window w: the subsequence whose
+// nearest neighbor is farthest (the global maximum of the matrix profile).
+func Discord(t []float64, w int) (offset int, dist float64) {
+	profile, _ := MatrixProfile(t, w)
+	best := 0
+	for k := range profile {
+		if !math.IsInf(profile[k], 1) && profile[k] > profile[best] {
+			best = k
+		}
+	}
+	return best, profile[best]
+}

@@ -1,0 +1,240 @@
+package subsequence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+// naiveProfile is the O(n*w) reference: z-normalize every window and the
+// query, then compute plain ED.
+func naiveProfile(t, q []float64) []float64 {
+	w := len(q)
+	zq := dataset.ZNormalize(q)
+	out := make([]float64, len(t)-w+1)
+	for s := range out {
+		zt := dataset.ZNormalize(t[s : s+w])
+		var sum float64
+		for i := range zq {
+			d := zq[i] - zt[i]
+			sum += d * d
+		}
+		out[s] = math.Sqrt(sum)
+		// Degenerate windows: convention is max distance.
+		if constant(t[s:s+w]) || constant(q) {
+			out[s] = math.Sqrt(2 * float64(w))
+		}
+	}
+	return out
+}
+
+func constant(x []float64) bool {
+	for _, v := range x {
+		if v != x[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDistanceProfileMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(100)
+		w := 4 + rng.Intn(20)
+		series := make([]float64, n)
+		for i := range series {
+			series[i] = rng.NormFloat64()
+		}
+		q := make([]float64, w)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		got := DistanceProfile(series, q)
+		want := naiveProfile(series, q)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceProfileExactMatchIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, 200)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	q := append([]float64(nil), series[57:57+25]...)
+	profile := DistanceProfile(series, q)
+	if profile[57] > 1e-6 {
+		t.Fatalf("profile at exact match = %g, want ~0", profile[57])
+	}
+}
+
+func TestDistanceProfileScaleInvariance(t *testing.T) {
+	// z-normalized distance ignores amplitude and offset of the query.
+	rng := rand.New(rand.NewSource(2))
+	series := make([]float64, 150)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	q := append([]float64(nil), series[40:40+20]...)
+	scaled := make([]float64, len(q))
+	for i := range q {
+		scaled[i] = 3*q[i] + 7
+	}
+	a := DistanceProfile(series, q)
+	b := DistanceProfile(series, scaled)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-6 {
+			t.Fatalf("profile differs under linear transform at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDistanceProfileConstantWindows(t *testing.T) {
+	series := []float64{1, 1, 1, 1, 5, 6, 7, 8}
+	q := []float64{2, 3, 4}
+	profile := DistanceProfile(series, q)
+	maxDist := math.Sqrt(2 * 3.0)
+	if profile[0] != maxDist || profile[1] != maxDist {
+		t.Fatalf("constant windows should score max distance: %v", profile[:2])
+	}
+	// The ramp at the end matches the query shape exactly.
+	if profile[len(profile)-1] > 1e-6 {
+		t.Fatalf("ramp match = %g, want ~0", profile[len(profile)-1])
+	}
+}
+
+func TestDistanceProfilePanics(t *testing.T) {
+	for _, c := range []struct{ n, w int }{{5, 1}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d w=%d: expected panic", c.n, c.w)
+				}
+			}()
+			DistanceProfile(make([]float64, c.n), make([]float64, c.w))
+		}()
+	}
+}
+
+func TestTopKNonOverlapping(t *testing.T) {
+	// A sine embeds the query shape many times; top-3 must not overlap.
+	n := 400
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = math.Sin(2 * math.Pi * float64(i) / 50)
+	}
+	q := series[100:150]
+	matches := TopK(series, q, 3)
+	if len(matches) != 3 {
+		t.Fatalf("matches = %d, want 3", len(matches))
+	}
+	if matches[0].Distance > 1e-6 {
+		t.Fatalf("best match distance = %g", matches[0].Distance)
+	}
+	for i := 0; i < len(matches); i++ {
+		for j := i + 1; j < len(matches); j++ {
+			gap := matches[i].Offset - matches[j].Offset
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap <= 25 {
+				t.Fatalf("matches %d and %d overlap: offsets %d, %d",
+					i, j, matches[i].Offset, matches[j].Offset)
+			}
+		}
+	}
+	// Sorted ascending by distance.
+	for i := 1; i < len(matches); i++ {
+		if matches[i].Distance < matches[i-1].Distance {
+			t.Fatal("matches not sorted")
+		}
+	}
+}
+
+func TestMatrixProfileFindsPlantedMotif(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 300
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	// Plant the same pattern at offsets 50 and 200.
+	pattern := make([]float64, 30)
+	for i := range pattern {
+		pattern[i] = 2 * math.Sin(2*math.Pi*float64(i)/10)
+	}
+	copy(series[50:], pattern)
+	copy(series[200:], pattern)
+	i, j, dist := Motif(series, 30)
+	lo, hi := i, j
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo < 45 || lo > 55 || hi < 195 || hi > 205 {
+		t.Fatalf("motif at (%d, %d), want near (50, 200)", i, j)
+	}
+	if dist > 0.5 {
+		t.Fatalf("motif distance = %g, want near 0", dist)
+	}
+}
+
+func TestDiscordFindsPlantedAnomaly(t *testing.T) {
+	// A periodic signal with one corrupted cycle: the discord.
+	n := 400
+	series := make([]float64, n)
+	for i := range series {
+		series[i] = math.Sin(2 * math.Pi * float64(i) / 40)
+	}
+	for i := 190; i < 210; i++ {
+		series[i] += 3 * math.Cos(float64(i)) // structured corruption
+	}
+	offset, dist := Discord(series, 40)
+	if offset < 160 || offset > 215 {
+		t.Fatalf("discord at %d, want inside the corrupted region", offset)
+	}
+	if dist <= 0 {
+		t.Fatalf("discord distance = %g", dist)
+	}
+}
+
+func TestMatrixProfileExclusionZone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	series := make([]float64, 120)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	profile, index := MatrixProfile(series, 20)
+	for i := range profile {
+		if index[i] == -1 {
+			continue
+		}
+		gap := index[i] - i
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap <= 10 {
+			t.Fatalf("profile %d points to trivial neighbor %d", i, index[i])
+		}
+	}
+}
+
+func TestMatrixProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatrixProfile(make([]float64, 10), 11)
+}

@@ -1,0 +1,218 @@
+// Package svm implements a kernel support vector machine trained with a
+// simplified SMO (sequential minimal optimization) algorithm, with
+// one-vs-rest multiclass reduction over a precomputed Gram matrix.
+//
+// The paper leaves the evaluation of kernel and embedding measures under
+// SVM classifiers as future work (Section 9, citing GRAIL's results); this
+// package provides that evaluation framework. Training consumes only a
+// precomputed kernel (Gram) matrix, so any p.s.d. similarity of the kernel
+// package — SINK, GAK, KDTW, RBF — plugs in directly.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config controls SMO training.
+type Config struct {
+	C       float64 // regularization (default 1)
+	Tol     float64 // KKT violation tolerance (default 1e-3)
+	MaxPass int     // passes without change before stopping (default 5)
+	MaxIter int     // hard iteration cap (default 200 passes)
+	Seed    int64   // partner-selection seed
+}
+
+func (c Config) defaults() Config {
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPass == 0 {
+		c.MaxPass = 5
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 200
+	}
+	return c
+}
+
+// binary is one trained binary SVM: dual coefficients and bias over the
+// training indexes.
+type binary struct {
+	alpha []float64 // alpha_i * y_i folded in sign via labels
+	y     []float64 // +1/-1 labels
+	b     float64
+}
+
+// trainBinary runs simplified SMO over the Gram matrix for labels y in
+// {-1, +1}.
+func trainBinary(gram [][]float64, y []float64, cfg Config) binary {
+	n := len(y)
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	f := func(i int) float64 {
+		var s float64
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * y[j] * gram[i][j]
+			}
+		}
+		return s + b
+	}
+
+	passes, iter := 0, 0
+	for passes < cfg.MaxPass && iter < cfg.MaxIter {
+		iter++
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if !((y[i]*ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - y[j]
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cfg.C, cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cfg.C)
+				hi = math.Min(cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*gram[i][j] - gram[i][i] - gram[j][j]
+			if eta >= 0 {
+				continue
+			}
+			alpha[j] = aj - y[j]*(ei-ej)/eta
+			if alpha[j] > hi {
+				alpha[j] = hi
+			} else if alpha[j] < lo {
+				alpha[j] = lo
+			}
+			if math.Abs(alpha[j]-aj) < 1e-7 {
+				alpha[j] = aj
+				continue
+			}
+			alpha[i] = ai + y[i]*y[j]*(aj-alpha[j])
+			b1 := b - ei - y[i]*(alpha[i]-ai)*gram[i][i] - y[j]*(alpha[j]-aj)*gram[i][j]
+			b2 := b - ej - y[i]*(alpha[i]-ai)*gram[i][j] - y[j]*(alpha[j]-aj)*gram[j][j]
+			switch {
+			case alpha[i] > 0 && alpha[i] < cfg.C:
+				b = b1
+			case alpha[j] > 0 && alpha[j] < cfg.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	return binary{alpha: alpha, y: y, b: b}
+}
+
+// decision evaluates the binary decision function for a test point given
+// its kernel row against the training set.
+func (m binary) decision(kRow []float64) float64 {
+	var s float64
+	for j, a := range m.alpha {
+		if a != 0 {
+			s += a * m.y[j] * kRow[j]
+		}
+	}
+	return s + m.b
+}
+
+// Model is a one-vs-rest multiclass kernel SVM.
+type Model struct {
+	classes  []int
+	binaries []binary
+}
+
+// Train fits a one-vs-rest SVM from the training Gram matrix and integer
+// class labels. It panics on shape mismatches or fewer than 2 classes.
+func Train(gram [][]float64, labels []int, cfg Config) *Model {
+	cfg = cfg.defaults()
+	n := len(labels)
+	if len(gram) != n {
+		panic(fmt.Sprintf("svm: gram has %d rows, %d labels", len(gram), n))
+	}
+	for i, row := range gram {
+		if len(row) != n {
+			panic(fmt.Sprintf("svm: gram row %d has %d cols, want %d", i, len(row), n))
+		}
+	}
+	seen := map[int]bool{}
+	var classes []int
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			classes = append(classes, l)
+		}
+	}
+	if len(classes) < 2 {
+		panic("svm: need at least 2 classes")
+	}
+	m := &Model{classes: classes}
+	for k, c := range classes {
+		y := make([]float64, n)
+		for i, l := range labels {
+			if l == c {
+				y[i] = 1
+			} else {
+				y[i] = -1
+			}
+		}
+		sub := cfg
+		sub.Seed = cfg.Seed + int64(k)
+		m.binaries = append(m.binaries, trainBinary(gram, y, sub))
+	}
+	return m
+}
+
+// Predict classifies one test point given its kernel row against the
+// training set: the class whose one-vs-rest decision value is largest.
+func (m *Model) Predict(kRow []float64) int {
+	best, bestV := m.classes[0], math.Inf(-1)
+	for k, bin := range m.binaries {
+		if v := bin.decision(kRow); v > bestV {
+			best, bestV = m.classes[k], v
+		}
+	}
+	return best
+}
+
+// Accuracy classifies every row of the test-by-train kernel matrix and
+// returns the fraction matching the test labels.
+func (m *Model) Accuracy(kTest [][]float64, testLabels []int) float64 {
+	if len(kTest) != len(testLabels) {
+		panic(fmt.Sprintf("svm: %d kernel rows, %d labels", len(kTest), len(testLabels)))
+	}
+	if len(kTest) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, row := range kTest {
+		if m.Predict(row) == testLabels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(kTest))
+}

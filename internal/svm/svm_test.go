@@ -1,0 +1,197 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+)
+
+// linearGram builds a linear-kernel Gram matrix between two point sets.
+func linearGram(a, b [][]float64) [][]float64 {
+	g := make([][]float64, len(a))
+	for i := range a {
+		g[i] = make([]float64, len(b))
+		for j := range b {
+			var s float64
+			for k := range a[i] {
+				s += a[i][k] * b[j][k]
+			}
+			g[i][j] = s
+		}
+	}
+	return g
+}
+
+func TestBinarySeparable2D(t *testing.T) {
+	// Two linearly separable blobs in 2D with a linear kernel.
+	rng := rand.New(rand.NewSource(1))
+	var points [][]float64
+	var labels []int
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			points = append(points, []float64{2 + rng.NormFloat64()*0.3, 2 + rng.NormFloat64()*0.3})
+			labels = append(labels, 1)
+		} else {
+			points = append(points, []float64{-2 + rng.NormFloat64()*0.3, -2 + rng.NormFloat64()*0.3})
+			labels = append(labels, 2)
+		}
+	}
+	gram := linearGram(points, points)
+	m := Train(gram, labels, Config{C: 1, Seed: 1})
+	acc := m.Accuracy(gram, labels)
+	if acc < 0.95 {
+		t.Fatalf("training accuracy %g on separable blobs, want ~1", acc)
+	}
+}
+
+func TestMulticlassBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	centers := [][]float64{{3, 0}, {-3, 0}, {0, 3}}
+	var points [][]float64
+	var labels []int
+	for i := 0; i < 60; i++ {
+		c := i % 3
+		points = append(points, []float64{
+			centers[c][0] + rng.NormFloat64()*0.4,
+			centers[c][1] + rng.NormFloat64()*0.4,
+		})
+		labels = append(labels, c+1)
+	}
+	// RBF kernel over the 2D points (treating coordinates as tiny series).
+	rbf := func(a, b []float64) float64 {
+		var s float64
+		for k := range a {
+			d := a[k] - b[k]
+			s += d * d
+		}
+		return math.Exp(-0.5 * s)
+	}
+	gram := make([][]float64, len(points))
+	for i := range points {
+		gram[i] = make([]float64, len(points))
+		for j := range points {
+			gram[i][j] = rbf(points[i], points[j])
+		}
+	}
+	m := Train(gram, labels, Config{C: 10, Seed: 3})
+	if acc := m.Accuracy(gram, labels); acc < 0.9 {
+		t.Fatalf("multiclass training accuracy %g, want >= 0.9", acc)
+	}
+}
+
+func TestGeneralizationOnHeldOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gen := func(n int) ([][]float64, []int) {
+		var pts [][]float64
+		var lbs []int
+		for i := 0; i < n; i++ {
+			c := i % 2
+			sign := float64(2*c - 1)
+			pts = append(pts, []float64{sign*1.5 + rng.NormFloat64()*0.4, sign*1.5 + rng.NormFloat64()*0.4})
+			lbs = append(lbs, c+1)
+		}
+		return pts, lbs
+	}
+	trainPts, trainLbs := gen(60)
+	testPts, testLbs := gen(30)
+	m := Train(linearGram(trainPts, trainPts), trainLbs, Config{Seed: 5})
+	acc := m.Accuracy(linearGram(testPts, trainPts), testLbs)
+	if acc < 0.9 {
+		t.Fatalf("held-out accuracy %g, want >= 0.9", acc)
+	}
+}
+
+func TestSINKKernelSVMOnTimeSeries(t *testing.T) {
+	// The future-work experiment in miniature: the SINK kernel under an
+	// SVM on shift-distorted series, where a lock-step linear Gram fails.
+	d := dataset.Generate(dataset.Config{
+		Name: "SVMDemo", Family: dataset.FamilyHarmonic, Length: 64,
+		NumClasses: 2, TrainSize: 24, TestSize: 24, Seed: 6,
+		NoiseSigma: 0.2, ShiftFrac: 0.2,
+	})
+	s := kernel.SINK{Gamma: 5}
+	gramOf := func(a, b [][]float64) [][]float64 {
+		g := make([][]float64, len(a))
+		pb := make([]any, len(b))
+		for j := range b {
+			pb[j] = s.Prepare(b[j])
+		}
+		for i := range a {
+			g[i] = make([]float64, len(b))
+			pa := s.Prepare(a[i])
+			for j := range b {
+				g[i][j] = 1 - s.PreparedDistance(pa, pb[j]) // normalized kernel
+			}
+		}
+		return g
+	}
+	m := Train(gramOf(d.Train, d.Train), d.TrainLabels, Config{C: 10, Seed: 7})
+	acc := m.Accuracy(gramOf(d.Test, d.Train), d.TestLabels)
+	if acc < 0.75 {
+		t.Fatalf("SINK-SVM accuracy %g, want >= 0.75", acc)
+	}
+}
+
+func TestTrainPanics(t *testing.T) {
+	cases := []struct {
+		name   string
+		gram   [][]float64
+		labels []int
+	}{
+		{"row mismatch", [][]float64{{1}}, []int{1, 2}},
+		{"col mismatch", [][]float64{{1, 2}, {3}}, []int{1, 2}},
+		{"one class", [][]float64{{1, 0}, {0, 1}}, []int{1, 1}},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			Train(c.gram, c.labels, Config{})
+		}()
+	}
+}
+
+func TestAccuracyPanicsOnMismatch(t *testing.T) {
+	m := Train([][]float64{{1, 0}, {0, 1}}, []int{1, 2}, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Accuracy([][]float64{{1, 0}}, []int{1, 2})
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.defaults()
+	if c.C != 1 || c.Tol != 1e-3 || c.MaxPass != 5 || c.MaxIter != 200 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{C: 7, Tol: 0.5, MaxPass: 2, MaxIter: 9}.defaults()
+	if c2.C != 7 || c2.Tol != 0.5 || c2.MaxPass != 2 || c2.MaxIter != 9 {
+		t.Fatalf("explicit config clobbered: %+v", c2)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	gram := [][]float64{{2, 0, 1}, {0, 2, 1}, {1, 1, 2}}
+	labels := []int{1, 2, 1}
+	a := Train(gram, labels, Config{Seed: 9})
+	b := Train(gram, labels, Config{Seed: 9})
+	for i := range a.binaries {
+		if a.binaries[i].b != b.binaries[i].b {
+			t.Fatal("training not deterministic")
+		}
+		for j := range a.binaries[i].alpha {
+			if a.binaries[i].alpha[j] != b.binaries[i].alpha[j] {
+				t.Fatal("alphas not deterministic")
+			}
+		}
+	}
+}

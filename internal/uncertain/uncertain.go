@@ -1,0 +1,156 @@
+// Package uncertain extends distance computation to uncertain time series
+// — series whose observations carry per-point error estimates — the second
+// future-work extension of the paper's footnote 1 (citing the MUNICH/DUST
+// line of work). An uncertain series models each observation as a Gaussian
+// with a known standard deviation; the package provides the closed-form
+// expected squared Euclidean distance, its variance, a distribution-aware
+// dissimilarity in the spirit of DUST, and a 1-NN helper.
+package uncertain
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series is an uncertain time series: observation i is modelled as
+// N(Values[i], Stddev[i]^2). A nil Stddev means a certain series.
+type Series struct {
+	Values []float64
+	Stddev []float64
+}
+
+// FromCertain wraps an exact series with zero uncertainty.
+func FromCertain(x []float64) Series {
+	return Series{Values: x}
+}
+
+// Validate checks structural invariants.
+func (s Series) Validate() error {
+	if len(s.Values) == 0 {
+		return fmt.Errorf("uncertain: empty series")
+	}
+	if s.Stddev != nil && len(s.Stddev) != len(s.Values) {
+		return fmt.Errorf("uncertain: %d values, %d stddevs", len(s.Values), len(s.Stddev))
+	}
+	for i, sd := range s.Stddev {
+		if sd < 0 || math.IsNaN(sd) {
+			return fmt.Errorf("uncertain: negative or NaN stddev at %d", i)
+		}
+	}
+	return nil
+}
+
+func (s Series) sd(i int) float64 {
+	if s.Stddev == nil {
+		return 0
+	}
+	return s.Stddev[i]
+}
+
+func checkPair(x, y Series) int {
+	if len(x.Values) != len(y.Values) {
+		panic(fmt.Sprintf("uncertain: length mismatch %d vs %d", len(x.Values), len(y.Values)))
+	}
+	return len(x.Values)
+}
+
+// ExpectedSqED returns the expectation of the squared Euclidean distance
+// between the two uncertain series under independent Gaussian errors:
+// E[sum (X_i - Y_i)^2] = sum ((mu_xi - mu_yi)^2 + sd_xi^2 + sd_yi^2).
+func ExpectedSqED(x, y Series) float64 {
+	m := checkPair(x, y)
+	var s float64
+	for i := 0; i < m; i++ {
+		d := x.Values[i] - y.Values[i]
+		s += d*d + x.sd(i)*x.sd(i) + y.sd(i)*y.sd(i)
+	}
+	return s
+}
+
+// VarianceSqED returns the variance of the squared Euclidean distance
+// under the same model. With D_i = X_i - Y_i ~ N(mu_i, s_i^2),
+// Var(D_i^2) = 2 s_i^4 + 4 mu_i^2 s_i^2, summed over i by independence.
+func VarianceSqED(x, y Series) float64 {
+	m := checkPair(x, y)
+	var v float64
+	for i := 0; i < m; i++ {
+		mu := x.Values[i] - y.Values[i]
+		s2 := x.sd(i)*x.sd(i) + y.sd(i)*y.sd(i)
+		v += 2*s2*s2 + 4*mu*mu*s2
+	}
+	return v
+}
+
+// ExpectedED returns the square root of the expected squared distance, the
+// standard plug-in dissimilarity for uncertain 1-NN (exact ED when both
+// series are certain).
+func ExpectedED(x, y Series) float64 {
+	return math.Sqrt(ExpectedSqED(x, y))
+}
+
+// DUST returns a distribution-aware dissimilarity in the spirit of DUST
+// (Sarangi & Murthy): each point contributes the *normalized* discrepancy
+// -log phi_i where phi_i is the likelihood-ratio-style evidence that the
+// two uncertain observations describe the same value. Under the Gaussian
+// model this reduces to sum of mu_i^2 / (2 (s_i^2 + eps)), the squared
+// difference de-weighted by the combined uncertainty; eps regularizes the
+// certain case (where DUST degenerates to scaled squared ED).
+func DUST(x, y Series, eps float64) float64 {
+	m := checkPair(x, y)
+	if eps <= 0 {
+		eps = 1e-3
+	}
+	var s float64
+	for i := 0; i < m; i++ {
+		mu := x.Values[i] - y.Values[i]
+		s2 := x.sd(i)*x.sd(i) + y.sd(i)*y.sd(i) + eps
+		s += mu * mu / (2 * s2)
+	}
+	return math.Sqrt(s)
+}
+
+// ProbCloser estimates P(dist(q, a) < dist(q, b)) for squared Euclidean
+// distances using a normal approximation of the difference of the two
+// distance statistics (their means and variances from ExpectedSqED /
+// VarianceSqED; the shared q noise is neglected, which is the standard
+// simplification). It underpins probabilistic nearest-neighbor ranking.
+func ProbCloser(q, a, b Series) float64 {
+	meanDiff := ExpectedSqED(q, b) - ExpectedSqED(q, a) // >0 favours a
+	varSum := VarianceSqED(q, a) + VarianceSqED(q, b)
+	if varSum == 0 {
+		if meanDiff > 0 {
+			return 1
+		}
+		if meanDiff < 0 {
+			return 0
+		}
+		return 0.5
+	}
+	z := meanDiff / math.Sqrt(varSum)
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// OneNN classifies each uncertain test series by expected squared distance
+// and returns the accuracy.
+func OneNN(train []Series, trainLabels []int, test []Series, testLabels []int) float64 {
+	if len(train) != len(trainLabels) || len(test) != len(testLabels) {
+		panic("uncertain: series/label count mismatch")
+	}
+	if len(test) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, q := range test {
+		best := -1
+		bestD := math.Inf(1)
+		for j, r := range train {
+			if d := ExpectedSqED(q, r); best == -1 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if trainLabels[best] == testLabels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(test))
+}

@@ -1,0 +1,180 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := Series{Values: []float64{1, 2}, Stddev: []float64{0.1, 0.2}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Series{}).Validate() == nil {
+		t.Error("empty must fail")
+	}
+	if (Series{Values: []float64{1}, Stddev: []float64{1, 2}}).Validate() == nil {
+		t.Error("length mismatch must fail")
+	}
+	if (Series{Values: []float64{1}, Stddev: []float64{-1}}).Validate() == nil {
+		t.Error("negative stddev must fail")
+	}
+}
+
+func TestExpectedSqEDReducesToExactED(t *testing.T) {
+	x := FromCertain([]float64{0, 0})
+	y := FromCertain([]float64{3, 4})
+	if got := ExpectedSqED(x, y); got != 25 {
+		t.Fatalf("certain ExpectedSqED = %g, want 25", got)
+	}
+	if got := ExpectedED(x, y); got != 5 {
+		t.Fatalf("certain ExpectedED = %g, want 5", got)
+	}
+}
+
+func TestExpectedSqEDAddsVariances(t *testing.T) {
+	x := Series{Values: []float64{0}, Stddev: []float64{2}}
+	y := Series{Values: []float64{1}, Stddev: []float64{3}}
+	// 1^2 + 4 + 9 = 14.
+	if got := ExpectedSqED(x, y); got != 14 {
+		t.Fatalf("ExpectedSqED = %g, want 14", got)
+	}
+}
+
+func TestExpectedSqEDMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := Series{Values: []float64{1, -2, 0.5}, Stddev: []float64{0.5, 0.2, 1}}
+	y := Series{Values: []float64{0, 1, 0}, Stddev: []float64{0.3, 0.4, 0.1}}
+	const trials = 200000
+	var sum, sumSq float64
+	for t2 := 0; t2 < trials; t2++ {
+		var d2 float64
+		for i := range x.Values {
+			xi := x.Values[i] + x.Stddev[i]*rng.NormFloat64()
+			yi := y.Values[i] + y.Stddev[i]*rng.NormFloat64()
+			d := xi - yi
+			d2 += d * d
+		}
+		sum += d2
+		sumSq += d2 * d2
+	}
+	mcMean := sum / trials
+	mcVar := sumSq/trials - mcMean*mcMean
+	if math.Abs(mcMean-ExpectedSqED(x, y)) > 0.05*ExpectedSqED(x, y) {
+		t.Fatalf("MC mean %g != analytic %g", mcMean, ExpectedSqED(x, y))
+	}
+	if math.Abs(mcVar-VarianceSqED(x, y)) > 0.05*VarianceSqED(x, y) {
+		t.Fatalf("MC var %g != analytic %g", mcVar, VarianceSqED(x, y))
+	}
+}
+
+func TestVarianceZeroForCertain(t *testing.T) {
+	x := FromCertain([]float64{1, 2})
+	y := FromCertain([]float64{3, 4})
+	if VarianceSqED(x, y) != 0 {
+		t.Fatal("certain series must have zero distance variance")
+	}
+}
+
+func TestDUSTDownweightsUncertainty(t *testing.T) {
+	// The same value gap counts for less when the observations are noisy.
+	certain := DUST(
+		Series{Values: []float64{0}},
+		Series{Values: []float64{2}},
+		1e-3,
+	)
+	noisy := DUST(
+		Series{Values: []float64{0}, Stddev: []float64{2}},
+		Series{Values: []float64{2}, Stddev: []float64{2}},
+		1e-3,
+	)
+	if noisy >= certain {
+		t.Fatalf("noisy DUST %g should be < certain %g", noisy, certain)
+	}
+}
+
+func TestDUSTIdentity(t *testing.T) {
+	x := Series{Values: []float64{1, 2, 3}, Stddev: []float64{0.5, 0.5, 0.5}}
+	if d := DUST(x, x, 1e-3); d != 0 {
+		t.Fatalf("DUST(x,x) = %g", d)
+	}
+}
+
+func TestDUSTNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		mk := func() Series {
+			v := make([]float64, n)
+			s := make([]float64, n)
+			for i := range v {
+				v[i] = rng.NormFloat64()
+				s[i] = rng.Float64()
+			}
+			return Series{Values: v, Stddev: s}
+		}
+		return DUST(mk(), mk(), 1e-3) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProbCloser(t *testing.T) {
+	q := FromCertain([]float64{0, 0, 0})
+	near := Series{Values: []float64{0.1, 0, 0}, Stddev: []float64{0.1, 0.1, 0.1}}
+	far := Series{Values: []float64{5, 5, 5}, Stddev: []float64{0.1, 0.1, 0.1}}
+	if p := ProbCloser(q, near, far); p < 0.99 {
+		t.Fatalf("P(near closer) = %g, want ~1", p)
+	}
+	if p := ProbCloser(q, far, near); p > 0.01 {
+		t.Fatalf("P(far closer) = %g, want ~0", p)
+	}
+	// Symmetric certain case: equal distances -> 0.5.
+	a := FromCertain([]float64{1, 0, 0})
+	b := FromCertain([]float64{-1, 0, 0})
+	if p := ProbCloser(q, a, b); p != 0.5 {
+		t.Fatalf("equal certain distances: P = %g, want 0.5", p)
+	}
+}
+
+func TestOneNNWithUncertainty(t *testing.T) {
+	// Two classes separated in mean; uncertainty-aware expected distance
+	// still classifies correctly.
+	rng := rand.New(rand.NewSource(2))
+	mk := func(class int) Series {
+		v := make([]float64, 16)
+		s := make([]float64, 16)
+		for i := range v {
+			v[i] = float64(class*3) + 0.3*rng.NormFloat64()
+			s[i] = 0.2 + 0.2*rng.Float64()
+		}
+		return Series{Values: v, Stddev: s}
+	}
+	var train, test []Series
+	var trainL, testL []int
+	for class := 0; class < 2; class++ {
+		for k := 0; k < 6; k++ {
+			train = append(train, mk(class))
+			trainL = append(trainL, class)
+		}
+		for k := 0; k < 4; k++ {
+			test = append(test, mk(class))
+			testL = append(testL, class)
+		}
+	}
+	if acc := OneNN(train, trainL, test, testL); acc < 0.9 {
+		t.Fatalf("uncertain 1-NN accuracy %g", acc)
+	}
+}
+
+func TestPairMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExpectedSqED(FromCertain([]float64{1}), FromCertain([]float64{1, 2}))
+}

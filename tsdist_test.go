@@ -1,0 +1,209 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests exercise the public facade end to end, the same surface the
+// examples and cmd tools use.
+
+func demoDataset() *Dataset {
+	return GenerateDataset(DatasetConfig{
+		Name: "FacadeDemo", Family: FamilyECG, Length: 64,
+		NumClasses: 2, TrainSize: 12, TestSize: 16, Seed: 21,
+		NoiseSigma: 0.2, ShiftFrac: 0.12,
+	})
+}
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	d := demoDataset()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	edAcc := TestAccuracy(Euclidean(), d, ZScore())
+	sbdAcc := TestAccuracy(SBD(), d, ZScore())
+	if edAcc < 0 || edAcc > 1 || sbdAcc < 0 || sbdAcc > 1 {
+		t.Fatalf("accuracies out of range: %g %g", edAcc, sbdAcc)
+	}
+	// On a shifted ECG dataset the sliding measure must beat ED.
+	if sbdAcc < edAcc {
+		t.Errorf("SBD %g < ED %g on shift-heavy data", sbdAcc, edAcc)
+	}
+}
+
+func TestFacadeMeasureInventoryCounts(t *testing.T) {
+	if n := len(AllLockStep()); n != 53 {
+		t.Errorf("lock-step inventory = %d, want 53 (52 counted + bonus)", n)
+	}
+	if n := len(AllSliding()); n != 4 {
+		t.Errorf("sliding inventory = %d, want 4", n)
+	}
+	if n := len(AllElastic()); n != 7 {
+		t.Errorf("elastic inventory = %d, want 7", n)
+	}
+	if n := len(AllKernels()); n != 4 {
+		t.Errorf("kernel inventory = %d, want 4", n)
+	}
+	if n := len(AllNormalizers()); n != 8 {
+		t.Errorf("normalizer inventory = %d, want 8", n)
+	}
+}
+
+func TestFacadeDistanceMatrixAndOneNN(t *testing.T) {
+	d := demoDataset()
+	e := DistanceMatrix(MSM(0.5), d.Test, d.Train)
+	if len(e) != len(d.Test) || len(e[0]) != len(d.Train) {
+		t.Fatalf("matrix shape %dx%d", len(e), len(e[0]))
+	}
+	acc := OneNN(e, d.TestLabels, d.TrainLabels)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %g", acc)
+	}
+}
+
+func TestFacadeSupervisedTuning(t *testing.T) {
+	d := demoDataset()
+	acc, chosen := SupervisedAccuracy(DTWGrid(), d, nil)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %g", acc)
+	}
+	if !strings.HasPrefix(chosen.Name(), "dtw[") {
+		t.Fatalf("chosen %s", chosen.Name())
+	}
+}
+
+func TestFacadeEmbeddingFlow(t *testing.T) {
+	d := demoDataset()
+	g := NewGRAIL(5, 1)
+	g.Fit(d.Train)
+	m := EmbeddingMeasure(g)
+	acc := TestAccuracy(m, d, nil)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("GRAIL accuracy %g", acc)
+	}
+}
+
+func TestFacadeStatistics(t *testing.T) {
+	x := []float64{0.9, 0.8, 0.85, 0.95, 0.9, 0.8, 0.88, 0.92, 0.83, 0.91, 0.87, 0.9}
+	y := []float64{0.7, 0.6, 0.65, 0.75, 0.72, 0.61, 0.68, 0.7, 0.66, 0.71, 0.69, 0.73}
+	w := Wilcoxon(x, y)
+	if w.PValue >= 0.05 {
+		t.Fatalf("clear shift should be significant, p = %g", w.PValue)
+	}
+	scores := [][]float64{{0.9, 0.7, 0.5}, {0.8, 0.7, 0.4}, {0.95, 0.6, 0.5}, {0.85, 0.75, 0.45}}
+	f := Friedman(scores, 0.10)
+	if f.K != 3 || f.N != 4 {
+		t.Fatalf("friedman dims %dx%d", f.N, f.K)
+	}
+	diagram := CriticalDifferenceDiagram([]string{"a", "b", "c"}, f.AvgRanks, f.CriticalDiff)
+	if !strings.Contains(diagram, "rank") {
+		t.Error("diagram missing rank labels")
+	}
+}
+
+func TestFacadeNormalizers(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	z := ZScore().Normalize(x)
+	var mean float64
+	for _, v := range z {
+		mean += v
+	}
+	if math.Abs(mean) > 1e-9 {
+		t.Fatalf("zscore mean %g", mean)
+	}
+	if NormalizerByName("minmax") == nil {
+		t.Fatal("minmax not resolvable by name")
+	}
+	if n := MinMaxRange(1, 2).Normalize(x); n[0] != 1 || n[3] != 2 {
+		t.Fatalf("minmaxrange = %v", n)
+	}
+}
+
+func TestFacadeAdaptiveScaling(t *testing.T) {
+	m := AdaptiveScaling(Euclidean())
+	x := []float64{1, 2, 3}
+	y := []float64{2, 4, 6}
+	if d := m.Distance(x, y); d > 1e-9 {
+		t.Fatalf("adaptive ED of scaled pair = %g", d)
+	}
+}
+
+func TestFacadeLBKeogh(t *testing.T) {
+	x := []float64{0, 1, 0, -1, 0, 1, 0, -1}
+	y := []float64{1, 0, -1, 0, 1, 0, -1, 0}
+	lb := LBKeogh(x, y, 2)
+	dtw := DTW(25).Distance(x, y)
+	if lb > dtw+1e-9 {
+		t.Fatalf("LB %g exceeds DTW %g", lb, dtw)
+	}
+}
+
+func TestFacadeArchiveAndUCRRoundTrip(t *testing.T) {
+	archive := GenerateArchive(ArchiveOptions{Seed: 5, Count: 3, MaxLength: 48, MaxTrain: 8, MaxTest: 8})
+	if len(archive) != 3 {
+		t.Fatalf("archive size %d", len(archive))
+	}
+	dir := t.TempDir()
+	if err := SaveUCR(dir, archive[0]); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadUCR(dir, archive[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Length() != archive[0].Length() {
+		t.Fatalf("length %d != %d", loaded.Length(), archive[0].Length())
+	}
+}
+
+func TestFacadeExperimentDrivers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment drivers are exercised in internal/experiments")
+	}
+	opts := ExperimentOptions{
+		Archive:    GenerateArchive(ArchiveOptions{Seed: 2, Count: 6, MaxLength: 40, MaxTrain: 8, MaxTest: 10}),
+		GridStride: 8,
+	}
+	tab := Table3(opts)
+	if tab.Baseline.Measure != "lorentzian" {
+		t.Fatalf("table 3 baseline = %s", tab.Baseline.Measure)
+	}
+	r := Figure6(opts)
+	if len(r.Names) != 9 {
+		t.Fatalf("figure 6 methods = %d, want 9", len(r.Names))
+	}
+	if out := Table4(); !strings.Contains(out, "candidates") {
+		t.Error("Table4 render incomplete")
+	}
+	if fig1 := Figure1(); !strings.Contains(fig1, "zscore") {
+		t.Error("Figure1 render incomplete")
+	}
+}
+
+func TestFacadeZNormalize(t *testing.T) {
+	z := ZNormalize([]float64{2, 4, 6})
+	if math.Abs(z[0]+z[2]) > 1e-12 {
+		t.Fatalf("z = %v not symmetric", z)
+	}
+}
+
+func TestFacadeKernelsAndElastic(t *testing.T) {
+	x := []float64{0, 1, 0, -1, 0, 1, 0, -1}
+	y := []float64{0.1, 0.9, 0, -1.1, 0.1, 1, -0.1, -0.9}
+	for _, m := range []Measure{
+		RBF(1), SINK(5), GAK(1), KDTW(0.125),
+		DTW(10), LCSS(5, 0.2), EDR(0.1), ERP(), MSM(0.5), TWE(1, 0.0001), Swale(0.2, 5, 1),
+		Lorentzian(), Jaccard(), Soergel(), Emanon4(), DISSIM(), ASD(),
+		NCC(), NCCb(), NCCu(),
+	} {
+		d := m.Distance(x, y)
+		if math.IsNaN(d) {
+			t.Errorf("%s returned NaN", m.Name())
+		}
+		if m.Distance(x, x) > d+1e-9 {
+			t.Errorf("%s: d(x,x) > d(x,y)", m.Name())
+		}
+	}
+}
