@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the concurrency-heavy packages: the parallel dispatcher, the
+# pruned search engine, and the evaluation layer driving them.
+race:
+	$(GO) test -race ./internal/par ./internal/eval ./internal/search
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...
+
+# CI entry point: everything that must be green before merging.
+check: build vet test race

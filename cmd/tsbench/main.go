@@ -6,8 +6,9 @@
 //	tsbench [flags] [experiment ...]
 //
 // Experiments: table2 table3 table4 table5 table6 table7 figure1 figure2
-// figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10, or
-// "all". With no arguments, a summary of available experiments is printed.
+// figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10 pruning,
+// or "all". With no arguments, a summary of available experiments is
+// printed.
 //
 // Flags:
 //
@@ -15,6 +16,7 @@
 //	-count N       number of synthetic datasets (default: reduced archive)
 //	-seed N        archive seed (default 1)
 //	-stride N      thin supervised parameter grids by N (default 1 = full)
+//	-pruned        run 1-NN inference through the pruned search engine
 //	-archive DIR   load real UCR datasets from DIR instead of synthesizing
 //	-datasets CSV  comma-separated dataset names under -archive
 package main
@@ -34,7 +36,7 @@ import (
 var experimentOrder = []string{
 	"table2", "figure2", "figure3", "table3", "figure4", "table4",
 	"table5", "figure5", "figure6", "table6", "figure7", "figure8",
-	"table7", "figure9", "figure10", "figure1", "svm",
+	"table7", "figure9", "figure10", "figure1", "svm", "pruning",
 }
 
 func main() {
@@ -42,12 +44,13 @@ func main() {
 	count := flag.Int("count", 0, "number of synthetic datasets (0 = default)")
 	seed := flag.Int64("seed", 1, "archive seed")
 	stride := flag.Int("stride", 1, "thin supervised grids by this stride")
+	pruned := flag.Bool("pruned", false, "run 1-NN inference through the pruned search engine")
 	archiveDir := flag.String("archive", "", "directory with real UCR datasets")
 	datasets := flag.String("datasets", "", "comma-separated dataset names under -archive")
 	jsonPath := flag.String("json", "", "also write structured results as JSON to this file")
 	flag.Parse()
 
-	opts := experiments.Options{GridStride: *stride}
+	opts := experiments.Options{GridStride: *stride, Pruned: *pruned}
 	switch {
 	case *archiveDir != "":
 		names := strings.Split(*datasets, ",")
@@ -172,6 +175,9 @@ func run(name string, opts experiments.Options) (string, any, error) {
 	case "svm":
 		rows := experiments.ExtensionSVM(opts)
 		return experiments.RenderSVM(rows), rows, nil
+	case "pruning":
+		rows := experiments.PruningAblation(opts)
+		return experiments.RenderPruning(rows), rows, nil
 	default:
 		return "", nil, fmt.Errorf("unknown experiment %q", name)
 	}

@@ -40,85 +40,26 @@ type DTW struct {
 // Name implements measure.Measure.
 func (d DTW) Name() string { return fmt.Sprintf("dtw[d=%d]", d.DeltaPercent) }
 
+// Symmetric implements measure.Symmetric: the transposed DP combines the
+// same operands with the same operations, so DTW(x, y) == DTW(y, x)
+// bitwise.
+func (d DTW) Symmetric() bool { return true }
+
 // Distance implements measure.Measure.
 func (d DTW) Distance(x, y []float64) float64 {
-	measure.CheckSameLength(x, y)
-	m := len(x)
-	if m == 0 {
-		return 0
-	}
-	w := windowSize(d.DeltaPercent, m)
-	inf := math.Inf(1)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
-	for j := range prev {
-		prev[j] = inf
-	}
-	prev[0] = 0
-	for i := 1; i <= m; i++ {
-		for j := range cur {
-			cur[j] = inf
-		}
-		lo := i - w
-		if lo < 1 {
-			lo = 1
-		}
-		hi := i + w
-		if hi > m {
-			hi = m
-		}
-		for j := lo; j <= hi; j++ {
-			c := x[i-1] - y[j-1]
-			best := prev[j-1] // diagonal
-			if prev[j] < best {
-				best = prev[j] // insertion
-			}
-			if cur[j-1] < best {
-				best = cur[j-1] // deletion
-			}
-			cur[j] = c*c + best
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m]
+	return d.DistanceUpTo(x, y, math.Inf(1))
 }
 
 // LBKeogh returns the LB_Keogh lower bound of DTW(x, y) for a band of
 // absolute half-width w: the squared exceedance of x outside the upper and
-// lower envelopes of y. It never exceeds the corresponding DTW value, and
-// backs the pruning ablation benchmark.
+// lower envelopes of y. It never exceeds the corresponding DTW value. The
+// envelope is built in O(m) with Lemire's streaming min/max; callers that
+// evaluate many bounds against the same series should precompute an
+// Envelope (or use the search engine, which does) instead of rebuilding it
+// per call.
 func LBKeogh(x, y []float64, w int) float64 {
 	measure.CheckSameLength(x, y)
-	m := len(x)
-	var s float64
-	for i := 0; i < m; i++ {
-		lo, hi := math.Inf(1), math.Inf(-1)
-		jlo := i - w
-		if jlo < 0 {
-			jlo = 0
-		}
-		jhi := i + w
-		if jhi > m-1 {
-			jhi = m - 1
-		}
-		for j := jlo; j <= jhi; j++ {
-			if y[j] < lo {
-				lo = y[j]
-			}
-			if y[j] > hi {
-				hi = y[j]
-			}
-		}
-		switch {
-		case x[i] > hi:
-			d := x[i] - hi
-			s += d * d
-		case x[i] < lo:
-			d := x[i] - lo
-			s += d * d
-		}
-	}
-	return s
+	return NewEnvelope(y, w).LBKeogh(x)
 }
 
 // LCSS is the Longest Common Subsequence distance: points match when they
@@ -132,6 +73,9 @@ type LCSS struct {
 // Name implements measure.Measure.
 func (l LCSS) Name() string { return fmt.Sprintf("lcss[d=%d,e=%g]", l.DeltaPercent, l.Epsilon) }
 
+// Symmetric implements measure.Symmetric.
+func (l LCSS) Symmetric() bool { return true }
+
 // Distance implements measure.Measure.
 func (l LCSS) Distance(x, y []float64) float64 {
 	measure.CheckSameLength(x, y)
@@ -143,9 +87,6 @@ func (l LCSS) Distance(x, y []float64) float64 {
 	prev := make([]float64, m+1)
 	cur := make([]float64, m+1)
 	for i := 1; i <= m; i++ {
-		for j := range cur {
-			cur[j] = 0
-		}
 		lo := i - w
 		if lo < 1 {
 			lo = 1
@@ -153,6 +94,15 @@ func (l LCSS) Distance(x, y []float64) float64 {
 		hi := i + w
 		if hi > m {
 			hi = m
+		}
+		// Out-of-band cells count as zero matches. The band only ever
+		// advances by one cell per row, so clearing its fringe — cur[lo-1]
+		// (read as the deletion predecessor) and cur[hi+1] (read as the
+		// next row's insertion predecessor) — replaces the former
+		// full-row wipe that made banded LCSS O(m^2) regardless of band.
+		cur[lo-1] = 0
+		if hi < m {
+			cur[hi+1] = 0
 		}
 		for j := lo; j <= hi; j++ {
 			if math.Abs(x[i-1]-y[j-1]) <= l.Epsilon {
@@ -176,6 +126,9 @@ type EDR struct {
 
 // Name implements measure.Measure.
 func (e EDR) Name() string { return fmt.Sprintf("edr[e=%g]", e.Epsilon) }
+
+// Symmetric implements measure.Symmetric.
+func (e EDR) Symmetric() bool { return true }
 
 // Distance implements measure.Measure.
 func (e EDR) Distance(x, y []float64) float64 {
@@ -218,6 +171,9 @@ type ERP struct {
 // Name implements measure.Measure.
 func (e ERP) Name() string { return "erp" }
 
+// Symmetric implements measure.Symmetric.
+func (e ERP) Symmetric() bool { return true }
+
 // Distance implements measure.Measure.
 func (e ERP) Distance(x, y []float64) float64 {
 	measure.CheckSameLength(x, y)
@@ -250,6 +206,10 @@ type MSM struct {
 
 // Name implements measure.Measure.
 func (m MSM) Name() string { return fmt.Sprintf("msm[c=%g]", m.C) }
+
+// Symmetric implements measure.Symmetric: under x<->y the split and merge
+// roles swap and msmCost is symmetric in its interval endpoints.
+func (m MSM) Symmetric() bool { return true }
 
 // msmCost is the split/merge cost C(new, a, b): c when new lies between a
 // and b, otherwise c plus the distance to the nearer endpoint.
@@ -298,6 +258,9 @@ type TWE struct {
 // Name implements measure.Measure.
 func (t TWE) Name() string { return fmt.Sprintf("twe[l=%g,n=%g]", t.Lambda, t.Nu) }
 
+// Symmetric implements measure.Symmetric.
+func (t TWE) Symmetric() bool { return true }
+
 // Distance implements measure.Measure.
 func (t TWE) Distance(x, y []float64) float64 {
 	measure.CheckSameLength(x, y)
@@ -318,9 +281,7 @@ func (t TWE) Distance(x, y []float64) float64 {
 	}
 	prev[0] = 0
 	for i := 1; i <= m; i++ {
-		for j := range cur {
-			cur[j] = inf
-		}
+		cur[0] = inf // only column 0 is read before being written
 		for j := 1; j <= m; j++ {
 			// Delete in x: advance i only.
 			delA := prev[j] + math.Abs(xp[i]-xp[i-1]) + t.Nu + t.Lambda
@@ -347,6 +308,9 @@ type Swale struct {
 
 // Name implements measure.Measure.
 func (s Swale) Name() string { return fmt.Sprintf("swale[e=%g,p=%g,r=%g]", s.Epsilon, s.P, s.R) }
+
+// Symmetric implements measure.Symmetric.
+func (s Swale) Symmetric() bool { return true }
 
 // Distance implements measure.Measure.
 func (s Swale) Distance(x, y []float64) float64 {

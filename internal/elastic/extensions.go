@@ -23,6 +23,9 @@ type DDTW struct {
 // Name implements measure.Measure.
 func (d DDTW) Name() string { return fmt.Sprintf("ddtw[d=%d]", d.DeltaPercent) }
 
+// Symmetric implements measure.Symmetric.
+func (d DDTW) Symmetric() bool { return true }
+
 // Derivative returns the Keogh-Pazzani derivative estimate
 // ((x_i - x_{i-1}) + (x_{i+1} - x_{i-1})/2) / 2, with replicated endpoints.
 // Series shorter than 3 points return a zero slope vector.
@@ -60,6 +63,9 @@ func (d DDBlend) Name() string {
 	return fmt.Sprintf("ddblend[d=%d,a=%g]", d.DeltaPercent, d.Alpha)
 }
 
+// Symmetric implements measure.Symmetric.
+func (d DDBlend) Symmetric() bool { return true }
+
 // Distance implements measure.Measure.
 func (d DDBlend) Distance(x, y []float64) float64 {
 	measure.CheckSameLength(x, y)
@@ -81,6 +87,10 @@ type WDTW struct {
 
 // Name implements measure.Measure.
 func (w WDTW) Name() string { return fmt.Sprintf("wdtw[g=%g]", w.G) }
+
+// Symmetric implements measure.Symmetric: the weight depends only on
+// |i-j|, which the transposition preserves.
+func (w WDTW) Symmetric() bool { return true }
 
 // Distance implements measure.Measure.
 func (w WDTW) Distance(x, y []float64) float64 {
@@ -141,6 +151,10 @@ type CID struct {
 // Name implements measure.Measure.
 func (c CID) Name() string { return "cid(" + c.Base.Name() + ")" }
 
+// Symmetric implements measure.Symmetric: the correction factor is
+// symmetric, so CID inherits the base measure's symmetry.
+func (c CID) Symmetric() bool { return measure.IsSymmetric(c.Base) }
+
 // ComplexityEstimate returns sqrt(sum of squared successive differences).
 func ComplexityEstimate(x []float64) float64 {
 	var s float64
@@ -174,38 +188,12 @@ type Envelope struct {
 	W            int
 }
 
-// NewEnvelope builds the envelope of y in O(m) using monotonic deques.
+// NewEnvelope builds the envelope of y in O(m) using Lemire's monotonic
+// deques (shared with DTW's bound context; see bounds.go).
 func NewEnvelope(y []float64, w int) *Envelope {
 	m := len(y)
 	e := &Envelope{Upper: make([]float64, m), Lower: make([]float64, m), W: w}
-	// Sliding-window maximum (upper) and minimum (lower) over [i-w, i+w].
-	maxDeque := make([]int, 0, m)
-	minDeque := make([]int, 0, m)
-	// j indexes the element entering the window of center i = j - w.
-	for j := 0; j < m+w; j++ {
-		if j < m {
-			for len(maxDeque) > 0 && y[maxDeque[len(maxDeque)-1]] <= y[j] {
-				maxDeque = maxDeque[:len(maxDeque)-1]
-			}
-			maxDeque = append(maxDeque, j)
-			for len(minDeque) > 0 && y[minDeque[len(minDeque)-1]] >= y[j] {
-				minDeque = minDeque[:len(minDeque)-1]
-			}
-			minDeque = append(minDeque, j)
-		}
-		i := j - w // window center whose window is now complete
-		if i < 0 || i >= m {
-			continue
-		}
-		for maxDeque[0] < i-w {
-			maxDeque = maxDeque[1:]
-		}
-		for minDeque[0] < i-w {
-			minDeque = minDeque[1:]
-		}
-		e.Upper[i] = y[maxDeque[0]]
-		e.Lower[i] = y[minDeque[0]]
-	}
+	fillEnvelope(e.Upper, e.Lower, y, w, make([]int, m), make([]int, m))
 	return e
 }
 

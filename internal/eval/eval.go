@@ -4,33 +4,39 @@
 // accuracy, the leave-one-out variant used for supervised parameter tuning,
 // the parameter grids of Table 4, and the per-dataset evaluation pipeline
 // combining a normalization method with a distance measure.
+//
+// The accuracy entry points (TestAccuracy, SupervisedAccuracy) run on the
+// pruned matrix-free engine of internal/search; Matrix remains the
+// exhaustive reference used by the runtime experiments and the exactness
+// property tests. Both paths produce identical neighbors, including ties.
 package eval
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/measure"
 	"repro/internal/norm"
+	"repro/internal/par"
+	"repro/internal/search"
 )
 
 // Matrix computes the dissimilarity matrix E with E[i][j] =
 // d(queries[i], refs[j]). Rows are computed in parallel across all CPUs.
 // NaN distances are sanitized to +Inf so undefined measures rank last.
 // When the measure implements measure.Stateful, each series is prepared
-// exactly once.
+// exactly once; when it is exactly symmetric and the matrix is square over
+// the same series, only the upper triangle is computed and mirrored.
 func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 	e := make([][]float64, len(queries))
 	if len(queries) == 0 {
 		return e
 	}
-	workers := runtime.NumCPU()
-	if workers > len(queries) {
-		workers = len(queries)
-	}
+	workers := par.Workers(len(queries))
 
+	dist := func(i, j int) float64 {
+		return measure.Sanitize(m.Distance(queries[i], refs[j]))
+	}
 	if sm, ok := m.(measure.Stateful); ok {
 		pq := prepareAll(sm, queries, workers)
 		var pr []any
@@ -39,12 +45,26 @@ func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 		} else {
 			pr = prepareAll(sm, refs, workers)
 		}
+		dist = func(i, j int) float64 {
+			return measure.Sanitize(sm.PreparedDistance(pq[i], pr[j]))
+		}
+	}
+
+	if measure.IsSymmetric(m) && sameSeries(queries, refs) {
+		for i := range e {
+			e[i] = make([]float64, len(refs))
+		}
 		parallelRows(len(queries), workers, func(i int) {
-			row := make([]float64, len(refs))
-			for j := range refs {
-				row[j] = measure.Sanitize(sm.PreparedDistance(pq[i], pr[j]))
+			for j := i; j < len(refs); j++ {
+				e[i][j] = dist(i, j)
 			}
-			e[i] = row
+		})
+		// Mirror the strict upper triangle; rows own their lower halves so
+		// the writes race with nothing.
+		parallelRows(len(queries), workers, func(i int) {
+			for j := 0; j < i; j++ {
+				e[i][j] = e[j][i]
+			}
 		})
 		return e
 	}
@@ -52,7 +72,7 @@ func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 	parallelRows(len(queries), workers, func(i int) {
 		row := make([]float64, len(refs))
 		for j := range refs {
-			row[j] = measure.Sanitize(m.Distance(queries[i], refs[j]))
+			row[j] = dist(i, j)
 		}
 		e[i] = row
 	})
@@ -87,30 +107,65 @@ func prepareAll(sm measure.Stateful, series [][]float64, workers int) []any {
 	return out
 }
 
-// parallelRows runs fn(i) for i in [0, n) across the given worker count.
+// parallelRows runs fn(i) for i in [0, n) across the given worker count,
+// dispatching chunks through a shared atomic counter (see internal/par)
+// rather than a channel handoff per row.
 func parallelRows(n, workers int, fn func(i int)) {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
+	par.For(n, workers, fn)
+}
+
+// Neighbors returns the argmin of every row of E: the nearest reference
+// index of each query, -1 for an empty row. Ties keep the lowest index.
+func Neighbors(e [][]float64) []int {
+	out := make([]int, len(e))
+	for i, row := range e {
+		best := -1
+		for j, d := range row {
+			if best == -1 || d < row[best] {
+				best = j
 			}
-		}()
+		}
+		out[i] = best
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	return out
+}
+
+// LeaveOneOutNeighbors is Neighbors for a square train-by-train matrix W
+// with the diagonal (self matches) excluded.
+func LeaveOneOutNeighbors(w [][]float64) []int {
+	out := make([]int, len(w))
+	for i, row := range w {
+		best := -1
+		for j, d := range row {
+			if j == i {
+				continue
+			}
+			if best == -1 || d < row[best] {
+				best = j
+			}
+		}
+		out[i] = best
 	}
-	close(next)
-	wg.Wait()
+	return out
+}
+
+// AccuracyFromNeighbors scores nearest-neighbor predictions: the fraction
+// of queries whose neighbor (an index into refLabels, -1 counting as a
+// miss) carries the query's label.
+func AccuracyFromNeighbors(neighbors []int, queryLabels, refLabels []int) float64 {
+	if len(neighbors) != len(queryLabels) {
+		panic(fmt.Sprintf("eval: %d neighbors, %d query labels", len(neighbors), len(queryLabels)))
+	}
+	if len(neighbors) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, nb := range neighbors {
+		if nb >= 0 && refLabels[nb] == queryLabels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(neighbors))
 }
 
 // OneNN implements Algorithm 1 of the paper: given the r-by-p matrix E of
@@ -122,54 +177,22 @@ func OneNN(e [][]float64, testLabels, trainLabels []int) float64 {
 	if len(e) != len(testLabels) {
 		panic(fmt.Sprintf("eval: %d matrix rows, %d test labels", len(e), len(testLabels)))
 	}
-	if len(e) == 0 {
-		return 0
-	}
-	correct := 0
 	for i, row := range e {
 		if len(row) != len(trainLabels) {
 			panic(fmt.Sprintf("eval: row %d has %d cols, %d train labels", i, len(row), len(trainLabels)))
 		}
-		best := -1
-		for j, d := range row {
-			if best == -1 || d < row[best] {
-				best = j
-			}
-		}
-		if best >= 0 && trainLabels[best] == testLabels[i] {
-			correct++
-		}
 	}
-	return float64(correct) / float64(len(e))
+	return AccuracyFromNeighbors(Neighbors(e), testLabels, trainLabels)
 }
 
 // LeaveOneOut computes the leave-one-out training accuracy from the square
 // train-by-train matrix W, skipping the diagonal (self matches), which is
 // the variant of Algorithm 1 the paper uses for parameter tuning.
 func LeaveOneOut(w [][]float64, labels []int) float64 {
-	n := len(w)
-	if n != len(labels) {
-		panic(fmt.Sprintf("eval: %d matrix rows, %d labels", n, len(labels)))
+	if len(w) != len(labels) {
+		panic(fmt.Sprintf("eval: %d matrix rows, %d labels", len(w), len(labels)))
 	}
-	if n == 0 {
-		return 0
-	}
-	correct := 0
-	for i, row := range w {
-		best := -1
-		for j, d := range row {
-			if j == i {
-				continue
-			}
-			if best == -1 || d < row[best] {
-				best = j
-			}
-		}
-		if best >= 0 && labels[best] == labels[i] {
-			correct++
-		}
-	}
-	return float64(correct) / float64(n)
+	return AccuracyFromNeighbors(LeaveOneOutNeighbors(w), labels, labels)
 }
 
 // Grid is a family of parameterized measure candidates sharing a name;
@@ -181,16 +204,22 @@ type Grid struct {
 }
 
 // TuneSupervised returns the grid candidate maximizing leave-one-out
-// accuracy on the training split, together with that accuracy. It panics
-// on an empty grid.
+// accuracy on the training split, together with that accuracy. Each
+// candidate is scored with the pruned search engine (halving the work for
+// symmetric measures) instead of materializing train-by-train matrices;
+// the selection is identical to the exhaustive computation. It panics on
+// an empty grid.
 func TuneSupervised(g Grid, train [][]float64, labels []int) (measure.Measure, float64) {
 	if len(g.Candidates) == 0 {
 		panic(fmt.Sprintf("eval: empty grid %q", g.Name))
 	}
+	if len(train) != len(labels) {
+		panic(fmt.Sprintf("eval: %d training series, %d labels", len(train), len(labels)))
+	}
 	bestIdx, bestAcc := 0, -1.0
 	for i, cand := range g.Candidates {
-		w := Matrix(cand, train, train)
-		acc := LeaveOneOut(w, labels)
+		res := search.LeaveOneOut(cand, train)
+		acc := AccuracyFromNeighbors(res.Indices, labels, labels)
 		if acc > bestAcc {
 			bestAcc = acc
 			bestIdx = i
@@ -222,12 +251,13 @@ func Normalize(d *dataset.Dataset, n norm.Normalizer) *dataset.Dataset {
 }
 
 // TestAccuracy evaluates a fixed measure on a dataset: the 1-NN test
-// accuracy over the E (test-by-train) matrix, after applying the
-// normalizer (which may be nil for pre-normalized data).
+// accuracy, after applying the normalizer (which may be nil for
+// pre-normalized data). Neighbors come from the pruned search engine; no
+// test-by-train matrix is materialized.
 func TestAccuracy(m measure.Measure, d *dataset.Dataset, n norm.Normalizer) float64 {
 	nd := Normalize(d, n)
-	e := Matrix(m, nd.Test, nd.Train)
-	return OneNN(e, nd.TestLabels, nd.TrainLabels)
+	res := search.OneNN(m, nd.Test, nd.Train)
+	return AccuracyFromNeighbors(res.Indices, nd.TestLabels, nd.TrainLabels)
 }
 
 // SupervisedAccuracy tunes the grid on the training split (leave-one-out)
@@ -236,6 +266,5 @@ func TestAccuracy(m measure.Measure, d *dataset.Dataset, n norm.Normalizer) floa
 func SupervisedAccuracy(g Grid, d *dataset.Dataset, n norm.Normalizer) (float64, measure.Measure) {
 	nd := Normalize(d, n)
 	chosen, _ := TuneSupervised(g, nd.Train, nd.TrainLabels)
-	e := Matrix(chosen, nd.Test, nd.Train)
-	return OneNN(e, nd.TestLabels, nd.TrainLabels), chosen
+	return TestAccuracy(chosen, nd, nil), chosen
 }

@@ -287,6 +287,70 @@ func TestDTWGridContainsUnconstrained(t *testing.T) {
 	}
 }
 
+func TestMatrixSymmetricTriangleMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	series := make([][]float64, 30)
+	for i := range series {
+		s := make([]float64, 40)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+		}
+		series[i] = s
+	}
+	sym := elastic.DTW{DeltaPercent: 10}
+	// The Func wrapper hides the Symmetric marker, forcing the full scan.
+	full := Matrix(measure.New("dtw-opaque", sym.Distance), series, series)
+	tri := Matrix(sym, series, series)
+	for i := range series {
+		for j := range series {
+			if tri[i][j] != full[i][j] {
+				t.Fatalf("triangle[%d][%d] = %g, full = %g", i, j, tri[i][j], full[i][j])
+			}
+		}
+	}
+}
+
+func TestNeighborsAndTies(t *testing.T) {
+	inf := math.Inf(1)
+	e := [][]float64{
+		{0.5, 0.5, 0.4}, // unique minimum at 2
+		{0.3, 0.3, 0.9}, // tie: lowest index wins
+		{inf, inf, inf}, // all infinite: first kept
+		{},              // empty row: no neighbor
+	}
+	want := []int{2, 0, 0, -1}
+	got := Neighbors(e)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLeaveOneOutNeighborsSkipsDiagonal(t *testing.T) {
+	w := [][]float64{
+		{0, 0.1, 0.9},
+		{0.1, 0, 0.9},
+		{0.9, 0.9, 0},
+	}
+	want := []int{1, 0, 0}
+	got := LeaveOneOutNeighbors(w)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("LOONeighbors[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAccuracyFromNeighborsCountsMissingAsWrong(t *testing.T) {
+	if acc := AccuracyFromNeighbors([]int{0, -1}, []int{1, 1}, []int{1}); acc != 0.5 {
+		t.Fatalf("acc = %g, want 0.5", acc)
+	}
+	if acc := AccuracyFromNeighbors(nil, nil, nil); acc != 0 {
+		t.Fatalf("empty acc = %g, want 0", acc)
+	}
+}
+
 func TestSameSeries(t *testing.T) {
 	a := [][]float64{{1, 2}, {3, 4}}
 	if !sameSeries(a, a) {

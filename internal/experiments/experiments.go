@@ -30,6 +30,10 @@ type Options struct {
 	// GridStride thins every supervised parameter grid (1 = full Table 4
 	// grids); reduced runs use larger strides to stay laptop-friendly.
 	GridStride int
+	// Pruned times inference through the pruned 1-NN engine
+	// (internal/search) instead of exhaustive matrix computation in the
+	// runtime experiments. Accuracies are identical either way.
+	Pruned bool
 }
 
 // Defaults fills unset fields and generates the default archive if needed.

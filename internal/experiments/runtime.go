@@ -13,6 +13,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lockstep"
 	"repro/internal/measure"
+	"repro/internal/search"
 	"repro/internal/sliding"
 )
 
@@ -28,7 +29,8 @@ type RuntimePoint struct {
 
 // Figure9 reproduces Figure 9: the accuracy-to-runtime comparison of the
 // most prominent measures. Runtime covers inference only (evaluation on
-// the test sets), as in the paper.
+// the test sets), as in the paper. With opts.Pruned the inference runs
+// through the matrix-free pruned engine; accuracies are identical.
 func Figure9(opts Options) []RuntimePoint {
 	opts = opts.Defaults()
 	type entry struct {
@@ -53,10 +55,15 @@ func Figure9(opts Options) []RuntimePoint {
 		var elapsed time.Duration
 		accs := make([]float64, len(opts.Archive))
 		for i, d := range opts.Archive {
+			var neighbors []int
 			start := time.Now()
-			em := eval.Matrix(e.m, d.Test, d.Train)
+			if opts.Pruned {
+				neighbors = search.OneNN(e.m, d.Test, d.Train).Indices
+			} else {
+				neighbors = eval.Neighbors(eval.Matrix(e.m, d.Test, d.Train))
+			}
 			elapsed += time.Since(start)
-			accs[i] = eval.OneNN(em, d.TestLabels, d.TrainLabels)
+			accs[i] = eval.AccuracyFromNeighbors(neighbors, d.TestLabels, d.TrainLabels)
 			correctWeighted += accs[i]
 		}
 		points = append(points, RuntimePoint{

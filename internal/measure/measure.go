@@ -38,6 +38,64 @@ type Stateful interface {
 	PreparedDistance(px, py any) float64
 }
 
+// Symmetric is an optional marker: measures whose Distance(x, y) equals
+// Distance(y, x) bitwise implement it (returning true), letting the
+// evaluation layer compute only one triangle of a square dissimilarity
+// matrix and the search engine share each pair distance between both
+// leave-one-out rows. The contract is exact equality, not equality up to
+// rounding: DP measures whose transposed recurrence combines the same
+// operands with the same operations qualify, but measures that merely
+// happen to be mathematically symmetric with different summation orders do
+// not.
+type Symmetric interface {
+	Measure
+	// Symmetric reports whether the measure is exactly symmetric.
+	Symmetric() bool
+}
+
+// IsSymmetric reports whether m declares exact symmetry.
+func IsSymmetric(m Measure) bool {
+	s, ok := m.(Symmetric)
+	return ok && s.Symmetric()
+}
+
+// EarlyAbandoning is an optional fast path for best-so-far-aware search:
+// DistanceUpTo may stop as soon as the running accumulation proves the
+// final distance cannot be below cutoff.
+type EarlyAbandoning interface {
+	Measure
+	// DistanceUpTo returns Distance(x, y) exactly whenever that value is
+	// < cutoff. Otherwise it may abandon the computation and return any
+	// value v with cutoff <= v <= Distance(x, y), so the caller can both
+	// reject the candidate and reuse v as a certified lower bound.
+	DistanceUpTo(x, y []float64, cutoff float64) float64
+}
+
+// BoundContext is reusable per-series state backing a measure's lower
+// bounds (envelopes, cached extrema, scratch deques). Contexts are not
+// safe for concurrent use; the search engine keeps one per worker for
+// queries and one per reference series, filled once.
+type BoundContext interface {
+	// Fill recomputes the context for x. Implementations must be
+	// allocation-free when len(x) matches the length the context currently
+	// holds buffers for, and may grow the buffers otherwise.
+	Fill(x []float64)
+}
+
+// LowerBounded is an optional fast path for pruned nearest-neighbor
+// search: measures that admit cheap lower bounds (LB_Kim, LB_Keogh, ...)
+// expose them through a cascade evaluated against a best-so-far cutoff.
+type LowerBounded interface {
+	Measure
+	// NewBoundContext allocates a context for series of length m.
+	NewBoundContext(m int) BoundContext
+	// LowerBound returns a value <= Distance(x, y), given filled contexts
+	// for both series. Implementations run their bound cascade from
+	// cheapest to tightest and may stop early once the bound reaches
+	// cutoff; every returned value must still be a valid lower bound.
+	LowerBound(x, y []float64, cx, cy BoundContext, cutoff float64) float64
+}
+
 // Func adapts a plain function to the Measure interface.
 type Func struct {
 	name string

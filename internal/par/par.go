@@ -1,0 +1,81 @@
+// Package par provides the shared parallel-for primitive used by the
+// evaluation and search hot paths. Iterations are handed out in chunks
+// through an atomic counter rather than one index at a time over a
+// channel, so cheap lock-step rows do not serialize on dispatch while
+// expensive elastic tails still balance across workers.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunksPerWorker controls the dispatch granularity: each worker receives
+// on the order of chunksPerWorker chunks, keeping the atomic counter cold
+// while leaving enough chunks for load balancing when iteration costs are
+// skewed (e.g. the shrinking rows of a triangular matrix).
+const chunksPerWorker = 8
+
+// Workers returns the worker count for n independent iterations: the CPU
+// count capped at n, and at least 1.
+func Workers(n int) int {
+	w := runtime.NumCPU()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(i) for every i in [0, n) across up to workers goroutines.
+func For(n, workers int, fn func(i int)) {
+	ForShard(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForShard is For with the worker index passed through, so callers can
+// maintain per-worker scratch state without locking. Worker indices lie in
+// [0, workers). Within one worker, iterations arrive in increasing order;
+// chunks are claimed in increasing order globally.
+func ForShard(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	chunk := n / (workers * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(worker, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

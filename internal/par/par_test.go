@@ -1,0 +1,83 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+		for _, workers := range []int{1, 2, 3, 8, 200} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d hit %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForShardWorkerIndexInRange(t *testing.T) {
+	const n, workers = 500, 4
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	ForShard(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of range", w)
+		}
+		mu.Lock()
+		seen[w] = true
+		mu.Unlock()
+	})
+	if len(seen) == 0 {
+		t.Fatal("no workers ran")
+	}
+}
+
+func TestForShardAscendingWithinWorker(t *testing.T) {
+	const n, workers = 2000, 4
+	last := make([]int, workers)
+	for w := range last {
+		last[w] = -1
+	}
+	ForShard(n, workers, func(w, i int) {
+		if i <= last[w] {
+			t.Errorf("worker %d: index %d after %d", w, i, last[w])
+		}
+		last[w] = i
+	})
+}
+
+func TestForSequentialFallback(t *testing.T) {
+	// workers <= 1 must run inline, in order, on worker 0.
+	prev := -1
+	ForShard(10, 1, func(w, i int) {
+		if w != 0 {
+			t.Errorf("expected worker 0, got %d", w)
+		}
+		if i != prev+1 {
+			t.Errorf("out-of-order inline iteration: %d after %d", i, prev)
+		}
+		prev = i
+	})
+	if prev != 9 {
+		t.Fatalf("inline run stopped at %d", prev)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d, want 1", w)
+	}
+	if w := Workers(1 << 30); w < 1 {
+		t.Errorf("Workers(big) = %d", w)
+	}
+}

@@ -1,0 +1,322 @@
+// Package search implements the pruned exact 1-NN engine behind the
+// paper's evaluation: instead of materializing the full test-by-train
+// dissimilarity matrix, each query scans the references with a best-so-far
+// cutoff, rejecting candidates through the measure's lower-bound cascade
+// (measure.LowerBounded), abandoning surviving distance computations early
+// (measure.EarlyAbandoning), and reusing per-series state
+// (measure.Stateful). For exactly symmetric measures the leave-one-out
+// variant evaluates each unordered pair once, halving the train-by-train
+// work of supervised tuning.
+//
+// The engine is exact: predicted neighbors — including ties, which resolve
+// to the lowest reference index — are identical to exhaustive matrix
+// evaluation. Lower bounds only skip candidates that provably cannot beat
+// the incumbent, and abandoned computations only certify d >= cutoff.
+package search
+
+import (
+	"math"
+
+	"repro/internal/measure"
+	"repro/internal/par"
+)
+
+// Stats counts the work performed by a search. In the symmetric
+// leave-one-out path each unordered pair counts once; everywhere else a
+// pair is one query-candidate combination.
+type Stats struct {
+	Pairs    int64 // candidate pairs examined
+	LBPruned int64 // pairs rejected by the lower-bound cascade alone
+	FullDist int64 // full distance computations started (incl. abandoned)
+}
+
+func (s *Stats) add(o Stats) {
+	s.Pairs += o.Pairs
+	s.LBPruned += o.LBPruned
+	s.FullDist += o.FullDist
+}
+
+// Result is the outcome of OneNN or LeaveOneOut: per-query nearest
+// reference indices (-1 when there are no candidates) and their sanitized
+// distances, plus aggregate work counters.
+type Result struct {
+	Indices   []int
+	Distances []float64
+	Stats     Stats
+}
+
+// Index holds a reference set prepared for repeated pruned 1-NN queries:
+// lower-bound contexts (envelopes) or stateful preparations are computed
+// once per reference. An Index is immutable after construction and safe
+// for concurrent use through per-goroutine Queriers.
+type Index struct {
+	m     measure.Measure
+	refs  [][]float64
+	lb    measure.LowerBounded
+	ea    measure.EarlyAbandoning
+	sm    measure.Stateful
+	rctx  []measure.BoundContext
+	rprep []any
+}
+
+// NewIndex prepares refs for searching under m. Per-reference state is
+// computed in parallel. When the measure is LowerBounded the cascade path
+// is used; otherwise a Stateful measure's prepared fast path; otherwise
+// plain Distance calls (with early abandoning when available).
+func NewIndex(m measure.Measure, refs [][]float64) *Index {
+	ix := &Index{m: m, refs: refs}
+	if ea, ok := m.(measure.EarlyAbandoning); ok {
+		ix.ea = ea
+	}
+	if lb, ok := m.(measure.LowerBounded); ok {
+		ix.lb = lb
+		ix.rctx = make([]measure.BoundContext, len(refs))
+		par.For(len(refs), par.Workers(len(refs)), func(i int) {
+			c := lb.NewBoundContext(len(refs[i]))
+			c.Fill(refs[i])
+			ix.rctx[i] = c
+		})
+	} else if sm, ok := m.(measure.Stateful); ok {
+		ix.sm = sm
+		ix.rprep = make([]any, len(refs))
+		par.For(len(refs), par.Workers(len(refs)), func(i int) {
+			ix.rprep[i] = sm.Prepare(refs[i])
+		})
+	}
+	return ix
+}
+
+// Querier runs queries against an Index, owning the per-worker reusable
+// state (the query's bound context and work counters). A Querier is NOT
+// safe for concurrent use; create one per goroutine via Index.Querier.
+type Querier struct {
+	ix   *Index
+	qctx measure.BoundContext
+	// Stats accumulates the work performed by this Querier's queries.
+	Stats Stats
+}
+
+// Querier returns a fresh query handle for the index.
+func (ix *Index) Querier() *Querier {
+	q := &Querier{ix: ix}
+	if ix.lb != nil && len(ix.refs) > 0 {
+		q.qctx = ix.lb.NewBoundContext(len(ix.refs[0]))
+	}
+	return q
+}
+
+// Query returns the index of the nearest reference to x and its sanitized
+// distance, or (-1, +Inf) when the index is empty. Ties resolve to the
+// lowest reference index, exactly as exhaustive evaluation does. Steady
+// state is allocation-free for LowerBounded measures.
+func (q *Querier) Query(x []float64) (best int, dist float64) {
+	return q.search(x, -1)
+}
+
+// search scans the references, skipping index skip (for leave-one-out).
+func (q *Querier) search(x []float64, skip int) (int, float64) {
+	ix := q.ix
+	best, bestDist := -1, math.Inf(1)
+	if len(ix.refs) == 0 {
+		return best, bestDist
+	}
+	switch {
+	case ix.lb != nil:
+		q.qctx.Fill(x)
+		for j, r := range ix.refs {
+			if j == skip {
+				continue
+			}
+			q.Stats.Pairs++
+			if best >= 0 {
+				if lbv := ix.lb.LowerBound(x, r, q.qctx, ix.rctx[j], bestDist); lbv >= bestDist {
+					q.Stats.LBPruned++
+					continue
+				}
+			}
+			q.Stats.FullDist++
+			var d float64
+			if ix.ea != nil {
+				d = measure.Sanitize(ix.ea.DistanceUpTo(x, r, bestDist))
+			} else {
+				d = measure.Sanitize(ix.m.Distance(x, r))
+			}
+			if best == -1 || d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+	case ix.sm != nil:
+		px := ix.sm.Prepare(x)
+		for j := range ix.refs {
+			if j == skip {
+				continue
+			}
+			q.Stats.Pairs++
+			q.Stats.FullDist++
+			d := measure.Sanitize(ix.sm.PreparedDistance(px, ix.rprep[j]))
+			if best == -1 || d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+	default:
+		for j, r := range ix.refs {
+			if j == skip {
+				continue
+			}
+			q.Stats.Pairs++
+			q.Stats.FullDist++
+			var d float64
+			if ix.ea != nil {
+				d = measure.Sanitize(ix.ea.DistanceUpTo(x, r, bestDist))
+			} else {
+				d = measure.Sanitize(ix.m.Distance(x, r))
+			}
+			if best == -1 || d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+	}
+	return best, bestDist
+}
+
+// OneNN finds, in parallel, the nearest reference of every query — the
+// matrix-free replacement for eval.Matrix + argmin. Neighbors are
+// identical to exhaustive evaluation, including tie-breaking.
+func OneNN(m measure.Measure, queries, refs [][]float64) Result {
+	return searchAll(NewIndex(m, refs), queries, false)
+}
+
+// searchAll runs per-query searches across workers, each with its own
+// Querier; skipDiag excludes reference i from query i (queries and refs
+// must then be the same slice).
+func searchAll(ix *Index, queries [][]float64, skipDiag bool) Result {
+	n := len(queries)
+	res := Result{Indices: make([]int, n), Distances: make([]float64, n)}
+	workers := par.Workers(n)
+	queriers := make([]*Querier, workers)
+	par.ForShard(n, workers, func(w, i int) {
+		q := queriers[w]
+		if q == nil {
+			q = ix.Querier()
+			queriers[w] = q
+		}
+		skip := -1
+		if skipDiag {
+			skip = i
+		}
+		res.Indices[i], res.Distances[i] = q.search(queries[i], skip)
+	})
+	for _, q := range queriers {
+		if q != nil {
+			res.Stats.add(q.Stats)
+		}
+	}
+	return res
+}
+
+// LeaveOneOut finds each training series' nearest other training series —
+// the matrix-free criterion of supervised parameter tuning. Exactly
+// symmetric measures take the halved path evaluating each unordered pair
+// once; results are identical to exhaustive evaluation either way.
+func LeaveOneOut(m measure.Measure, train [][]float64) Result {
+	_, stateful := m.(measure.Stateful)
+	_, bounded := m.(measure.LowerBounded)
+	if measure.IsSymmetric(m) && (bounded || !stateful) {
+		return looHalved(m, train)
+	}
+	return searchAll(NewIndex(m, train), train, true)
+}
+
+// looHalved evaluates each unordered training pair once. Every worker
+// keeps private best arrays; pair (i, j) is examined with the cutoff
+// max(best_i, best_j), so a pruned or abandoned computation certifies that
+// neither row can improve. Within a worker, contributions to any row
+// arrive in increasing candidate order (rows are dispatched in increasing
+// order and row i's own scan ascends), and the final cross-worker merge
+// takes the lexicographic (distance, index) minimum — together this
+// reproduces exhaustive first-lowest-index tie-breaking exactly.
+func looHalved(m measure.Measure, train [][]float64) Result {
+	n := len(train)
+	lb, _ := m.(measure.LowerBounded)
+	ea, _ := m.(measure.EarlyAbandoning)
+	var ctxs []measure.BoundContext
+	if lb != nil {
+		ctxs = make([]measure.BoundContext, n)
+		par.For(n, par.Workers(n), func(i int) {
+			c := lb.NewBoundContext(len(train[i]))
+			c.Fill(train[i])
+			ctxs[i] = c
+		})
+	}
+	workers := par.Workers(n)
+	type local struct {
+		dist  []float64
+		idx   []int
+		stats Stats
+	}
+	locals := make([]*local, workers)
+	par.ForShard(n, workers, func(w, i int) {
+		l := locals[w]
+		if l == nil {
+			l = &local{dist: make([]float64, n), idx: make([]int, n)}
+			for k := range l.dist {
+				l.dist[k] = math.Inf(1)
+				l.idx[k] = -1
+			}
+			locals[w] = l
+		}
+		xi := train[i]
+		for j := i + 1; j < n; j++ {
+			cutoff := l.dist[i]
+			if l.dist[j] > cutoff {
+				cutoff = l.dist[j]
+			}
+			l.stats.Pairs++
+			// With an infinite cutoff nothing can be pruned or abandoned
+			// (and rows without an incumbent must record their first
+			// candidate exactly), so skip the bound.
+			finite := !math.IsInf(cutoff, 1)
+			if lb != nil && finite {
+				if lbv := lb.LowerBound(xi, train[j], ctxs[i], ctxs[j], cutoff); lbv >= cutoff {
+					l.stats.LBPruned++
+					continue
+				}
+			}
+			l.stats.FullDist++
+			var d float64
+			if ea != nil {
+				d = measure.Sanitize(ea.DistanceUpTo(xi, train[j], cutoff))
+			} else {
+				d = measure.Sanitize(m.Distance(xi, train[j]))
+			}
+			// d is exact whenever it is recorded: an abandoned value is
+			// >= cutoff >= both incumbents, failing both strict updates,
+			// and a missing incumbent forces an infinite cutoff (exact).
+			if l.idx[i] == -1 || d < l.dist[i] {
+				l.dist[i], l.idx[i] = d, j
+			}
+			if l.idx[j] == -1 || d < l.dist[j] {
+				l.dist[j], l.idx[j] = d, i
+			}
+		}
+	})
+	res := Result{Indices: make([]int, n), Distances: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		bd, bi := math.Inf(1), -1
+		for _, l := range locals {
+			if l == nil || l.idx[i] == -1 {
+				continue
+			}
+			if bi == -1 || l.dist[i] < bd || (l.dist[i] == bd && l.idx[i] < bi) {
+				bd, bi = l.dist[i], l.idx[i]
+			}
+		}
+		res.Indices[i], res.Distances[i] = bi, bd
+	}
+	for _, l := range locals {
+		if l != nil {
+			res.Stats.add(l.stats)
+		}
+	}
+	return res
+}

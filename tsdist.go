@@ -40,6 +40,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/multivariate"
 	"repro/internal/norm"
+	"repro/internal/search"
 	"repro/internal/sliding"
 	"repro/internal/stats"
 	"repro/internal/subsequence"
@@ -253,6 +254,35 @@ func LBKeogh(x, y []float64, w int) float64 { return elastic.LBKeogh(x, y, w) }
 // distance, and the number of full DTW computations pruned.
 func NNSearchDTW(query []float64, refs [][]float64, deltaPercent int) (best int, dist float64, pruned int) {
 	return elastic.NNSearchDTW(query, refs, deltaPercent)
+}
+
+// SearchResult holds per-query nearest-neighbor indices and distances from
+// the pruned search engine, plus its work counters.
+type SearchResult = search.Result
+
+// SearchStats counts candidate pairs, lower-bound prunes, and full
+// distance computations of a pruned search.
+type SearchStats = search.Stats
+
+// SearchIndex is a reference set prepared for repeated pruned 1-NN
+// queries (lower-bound envelopes or stateful preparations built once).
+type SearchIndex = search.Index
+
+// NewSearchIndex prepares refs for pruned 1-NN queries under m; obtain a
+// per-goroutine handle with its Querier method.
+func NewSearchIndex(m Measure, refs [][]float64) *SearchIndex { return search.NewIndex(m, refs) }
+
+// SearchOneNN finds every query's nearest reference through the pruned
+// engine (lower-bound cascade + early abandoning), with neighbors —
+// including ties — identical to exhaustive matrix evaluation.
+func SearchOneNN(m Measure, queries, refs [][]float64) SearchResult {
+	return search.OneNN(m, queries, refs)
+}
+
+// SearchLeaveOneOut finds each training series' nearest other training
+// series, halving the work for exactly symmetric measures.
+func SearchLeaveOneOut(m Measure, train [][]float64) SearchResult {
+	return search.LeaveOneOut(m, train)
 }
 
 // AllElastic returns the 7 elastic measures at the paper's unsupervised
