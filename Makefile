@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race oracle oracle-long bench golden check
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,23 @@ vet:
 race:
 	$(GO) test -race ./internal/par ./internal/eval ./internal/search
 
+# Differential oracle harness under the race detector: every measure
+# against its reference implementation plus both search engines against
+# exhaustive matrix evaluation, on the fixed default seed schedule.
+oracle:
+	$(GO) test -race -run Oracle ./internal/oracle
+
+# Extended fuzzing campaign (32 seeds); slower, run before releases.
+oracle-long:
+	$(GO) test ./internal/oracle -run Oracle -oracle.long
+
 bench:
 	$(GO) test -bench . -benchtime 1x ./...
 
+# Regenerate the golden experiment outputs after an intentional change to
+# a measure, engine, or renderer; commit the resulting diff.
+golden:
+	$(GO) test ./cmd/tsbench -run TestGoldenExperimentOutputs -update-golden
+
 # CI entry point: everything that must be green before merging.
-check: build vet test race
+check: build vet test race oracle

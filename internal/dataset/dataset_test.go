@@ -448,3 +448,79 @@ func TestMovingAverage(t *testing.T) {
 		}
 	}
 }
+
+// TestReadTSVLineEndings is the regression test for non-LF exports: CRLF
+// files must not leave a stray CR in the last field, and lone-CR (classic
+// Mac) files must not collapse into a single giant line.
+func TestReadTSVLineEndings(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"crlf", "1\t0.5\t0.6\r\n2\t0.7\t0.8\r\n"},
+		{"cr-only", "1\t0.5\t0.6\r2\t0.7\t0.8\r"},
+		{"cr-no-final", "1\t0.5\t0.6\r2\t0.7\t0.8"},
+		{"mixed", "1\t0.5\t0.6\r\n2\t0.7\t0.8\n"},
+	}
+	for _, c := range cases {
+		series, labels, err := ReadTSV(strings.NewReader(c.in))
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(series) != 2 || labels[0] != 1 || labels[1] != 2 {
+			t.Errorf("%s: parsed %d series, labels %v, want 2 series [1 2]", c.name, len(series), labels)
+			continue
+		}
+		if len(series[0]) != 2 || series[0][1] != 0.6 || series[1][1] != 0.8 {
+			t.Errorf("%s: parsed series %v", c.name, series)
+		}
+	}
+}
+
+// TestReadTSVTrailingSeparators ensures a separator before the line ending
+// does not append a phantom missing value to the series.
+func TestReadTSVTrailingSeparators(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"trailing-tab", "1\t0.5\t0.6\t\n"},
+		{"trailing-tabs", "1\t0.5\t0.6\t\t\n"},
+		{"trailing-comma", "1,0.5,0.6,\n"},
+		{"trailing-tab-crlf", "1\t0.5\t0.6\t\r\n"},
+		{"trailing-space", "1\t0.5\t0.6 \n"},
+	}
+	for _, c := range cases {
+		series, _, err := ReadTSV(strings.NewReader(c.in))
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if len(series) != 1 || len(series[0]) != 2 {
+			t.Errorf("%s: parsed %v, want one series of length 2", c.name, series)
+			continue
+		}
+		if series[0][0] != 0.5 || series[0][1] != 0.6 {
+			t.Errorf("%s: parsed %v", c.name, series[0])
+		}
+	}
+}
+
+// TestReadTSVAllMissingRow pins the all-NaN-row contract: a series with no
+// observed values cannot be interpolated and must fail loudly at parse time
+// instead of flowing NaN into every downstream distance.
+func TestReadTSVAllMissingRow(t *testing.T) {
+	if _, _, err := ReadTSV(strings.NewReader("1\tNaN\tNaN\tNaN\n")); err == nil {
+		t.Error("expected error for all-NaN row")
+	}
+	if _, _, err := ReadTSV(strings.NewReader("1,NaN,,NaN\n")); err == nil {
+		t.Error("expected error for all-missing row with empty fields")
+	}
+	// Partially missing rows remain legal: interpolation handles them.
+	series, _, err := ReadTSV(strings.NewReader("1\tNaN\t0.5\tNaN\n"))
+	if err != nil {
+		t.Fatalf("partially missing row: %v", err)
+	}
+	if len(series) != 1 || !math.IsNaN(series[0][0]) || series[0][1] != 0.5 {
+		t.Errorf("parsed %v", series)
+	}
+}

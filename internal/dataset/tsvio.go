@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"math"
@@ -13,12 +14,16 @@ import (
 
 // ReadTSV parses one split in the UCR tab-separated format: one series per
 // line, the first field being the integer class label, the remaining fields
-// the observations. Empty fields and "NaN" become NaN (later interpolated).
-// Both tabs and commas are accepted as separators, matching the two layouts
-// found in archive releases.
+// the observations. Empty interior fields and "NaN" become NaN (later
+// interpolated); trailing separators are ignored. Both tabs and commas are
+// accepted as separators and all three line-ending conventions (LF, CRLF,
+// lone CR) are recognized, matching the layouts found in archive releases.
+// A row whose observations are all missing cannot be interpolated and is
+// rejected with an error.
 func ReadTSV(r io.Reader) (series [][]float64, labels []int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	sc.Split(scanLinesAnyEnding)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -31,6 +36,11 @@ func ReadTSV(r io.Reader) (series [][]float64, labels []int, err error) {
 			sep = ","
 		}
 		fields := strings.Split(text, sep)
+		// Trailing separators (a tab or comma before the line ending) yield
+		// empty tail fields that are artifacts, not missing observations.
+		for len(fields) > 0 && strings.TrimSpace(fields[len(fields)-1]) == "" {
+			fields = fields[:len(fields)-1]
+		}
 		if len(fields) < 2 {
 			return nil, nil, fmt.Errorf("dataset: line %d: need a label and at least one value", line)
 		}
@@ -39,10 +49,12 @@ func ReadTSV(r io.Reader) (series [][]float64, labels []int, err error) {
 			return nil, nil, fmt.Errorf("dataset: line %d: bad label %q: %v", line, fields[0], err)
 		}
 		s := make([]float64, 0, len(fields)-1)
+		missing := 0
 		for _, f := range fields[1:] {
 			f = strings.TrimSpace(f)
 			if f == "" || strings.EqualFold(f, "nan") {
 				s = append(s, math.NaN())
+				missing++
 				continue
 			}
 			v, err := strconv.ParseFloat(f, 64)
@@ -51,6 +63,9 @@ func ReadTSV(r io.Reader) (series [][]float64, labels []int, err error) {
 			}
 			s = append(s, v)
 		}
+		if missing == len(s) {
+			return nil, nil, fmt.Errorf("dataset: line %d: series has no observed values (all %d missing)", line, missing)
+		}
 		series = append(series, s)
 		labels = append(labels, int(labelFloat))
 	}
@@ -58,6 +73,36 @@ func ReadTSV(r io.Reader) (series [][]float64, labels []int, err error) {
 		return nil, nil, fmt.Errorf("dataset: scan: %v", err)
 	}
 	return series, labels, nil
+}
+
+// scanLinesAnyEnding is a bufio.SplitFunc that terminates lines on LF, CRLF,
+// or lone CR (classic Mac exports). bufio.ScanLines only strips the CR of a
+// CRLF pair, so a CR-only file would arrive as one giant line.
+func scanLinesAnyEnding(data []byte, atEOF bool) (advance int, token []byte, err error) {
+	if atEOF && len(data) == 0 {
+		return 0, nil, nil
+	}
+	if i := bytes.IndexAny(data, "\r\n"); i >= 0 {
+		if data[i] == '\n' {
+			return i + 1, data[:i], nil
+		}
+		// data[i] == '\r': swallow a following LF when present; if the CR is
+		// the last byte of a non-final chunk, wait for more data to decide.
+		if i+1 < len(data) {
+			if data[i+1] == '\n' {
+				return i + 2, data[:i], nil
+			}
+			return i + 1, data[:i], nil
+		}
+		if atEOF {
+			return i + 1, data[:i], nil
+		}
+		return 0, nil, nil
+	}
+	if atEOF {
+		return len(data), data, nil
+	}
+	return 0, nil, nil
 }
 
 // WriteTSV writes series in the UCR tab-separated format.

@@ -254,9 +254,13 @@ type Plan struct {
 }
 
 // NewPlan precomputes the padded FFT of x for cross-correlations against
-// series of the same length.
+// series of the same length. The empty series gets an empty plan whose
+// cross-correlations are the empty sequence, matching CrossCorrelation.
 func NewPlan(x []float64) *Plan {
 	n := len(x)
+	if n == 0 {
+		return &Plan{}
+	}
 	m := NextPowerOfTwo(2*n - 1)
 	return &Plan{n: n, m: m, freq: ForwardRealPadded(x, m)}
 }
@@ -270,6 +274,9 @@ func (p *Plan) Len() int { return p.n }
 func (p *Plan) CrossCorrelate(y []float64) []float64 {
 	if len(y) != p.n {
 		panic(fmt.Sprintf("fft: plan length %d, got series length %d", p.n, len(y)))
+	}
+	if p.n == 0 {
+		return nil
 	}
 	fy := ForwardRealPadded(y, p.m)
 	for i := range fy {
@@ -294,6 +301,9 @@ func (p *Plan) CrossCorrelate(y []float64) []float64 {
 func (p *Plan) CrossCorrelateWith(q *Plan) []float64 {
 	if q.n != p.n {
 		panic(fmt.Sprintf("fft: plan lengths differ: %d vs %d", p.n, q.n))
+	}
+	if p.n == 0 {
+		return nil
 	}
 	buf := make([]complex128, p.m)
 	for i := range buf {

@@ -89,14 +89,15 @@ func Sorensen() measure.Func {
 	})
 }
 
-// Gower returns the mean absolute difference.
+// Gower returns the mean absolute difference. The empty pair takes the
+// 0/0 := 0 convention (two empty series are identical) instead of NaN.
 func Gower() measure.Func {
 	return measure.New("gower", func(x, y []float64) float64 {
 		var s float64
 		for i := range x {
 			s += math.Abs(x[i] - y[i])
 		}
-		return s / float64(len(x))
+		return measure.Div(s, float64(len(x)))
 	})
 }
 

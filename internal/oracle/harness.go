@@ -1,0 +1,271 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/measure"
+	"repro/internal/search"
+)
+
+// Discrepancy is one disagreement the harness found, identifying the
+// measure, the input case, the contract that was violated, and the values
+// involved.
+type Discrepancy struct {
+	Measure string
+	Input   string
+	Kind    string // oracle | symmetry | stateful | upto | lowerbound | panic | engine
+	Detail  string
+}
+
+func (d Discrepancy) String() string {
+	return fmt.Sprintf("%-22s %-28s %-10s %s", d.Measure, d.Input, d.Kind, d.Detail)
+}
+
+// Report accumulates harness results: the number of individual checks run
+// and every discrepancy found.
+type Report struct {
+	Checks        int
+	Discrepancies []Discrepancy
+}
+
+func (r *Report) add(measureName, input, kind, format string, args ...any) {
+	r.Discrepancies = append(r.Discrepancies, Discrepancy{
+		Measure: measureName, Input: input, Kind: kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// String renders the structured report: a per-kind summary followed by one
+// line per discrepancy.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle harness: %d checks, %d discrepancies\n", r.Checks, len(r.Discrepancies))
+	if len(r.Discrepancies) == 0 {
+		return b.String()
+	}
+	byKind := map[string]int{}
+	for _, d := range r.Discrepancies {
+		byKind[d.Kind]++
+	}
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %s: %d\n", k, byKind[k])
+	}
+	fmt.Fprintf(&b, "%-22s %-28s %-10s %s\n", "MEASURE", "INPUT", "KIND", "DETAIL")
+	for _, d := range r.Discrepancies {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// agree reports whether two distance values match within the pair's
+// relative tolerance, after the evaluation layer's NaN -> +Inf
+// sanitization (the only view downstream code ever sees).
+func agree(a, b, tol float64) bool {
+	a, b = measure.Sanitize(a), measure.Sanitize(b)
+	if math.Float64bits(a) == math.Float64bits(b) || a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// sameValue is bitwise equality with NaN equal to itself.
+func sameValue(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// call invokes f, converting a panic into a reported discrepancy; ok is
+// false when f panicked.
+func call(r *Report, measureName, input, kind string, f func()) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			r.add(measureName, input, "panic", "%s panicked: %v", kind, p)
+		}
+	}()
+	f()
+	return true
+}
+
+// CheckPair runs every applicable contract check for one measure on one
+// input: oracle agreement, bitwise symmetry, the Stateful prepared path,
+// the EarlyAbandoning DistanceUpTo contract (both the exact and the
+// abandoning branch), and the LowerBounded cascade.
+func CheckPair(r *Report, p Pair, in Input) {
+	name := p.M.Name()
+	wellBehaved := in.Finite && !in.Extreme
+
+	var got float64
+	if !call(r, name, in.Name, "Distance", func() { got = p.M.Distance(in.X, in.Y) }) {
+		return
+	}
+
+	// Route 1 vs route 2: optimized against the reference implementation.
+	if !p.FiniteOnly || wellBehaved {
+		r.Checks++
+		want := p.Ref(in.X, in.Y)
+		if !agree(got, want, p.Tol) {
+			r.add(name, in.Name, "oracle", "optimized=%v reference=%v (tol %g)", got, want, p.Tol)
+		}
+	}
+
+	// Declared bitwise symmetry. On non-finite inputs comparison-order
+	// effects may flip NaN for Inf, so only the sanitized values must
+	// match there.
+	if measure.IsSymmetric(p.M) {
+		r.Checks++
+		var rev float64
+		if call(r, name, in.Name, "Distance(y,x)", func() { rev = p.M.Distance(in.Y, in.X) }) {
+			if wellBehaved && !sameValue(got, rev) {
+				r.add(name, in.Name, "symmetry", "d(x,y)=%v d(y,x)=%v not bitwise equal", got, rev)
+			} else if !wellBehaved && !agree(got, rev, p.Tol) {
+				r.add(name, in.Name, "symmetry", "d(x,y)=%v d(y,x)=%v", got, rev)
+			}
+		}
+	}
+
+	// Stateful prepared path must match the direct path.
+	if sm, ok := p.M.(measure.Stateful); ok {
+		r.Checks++
+		call(r, name, in.Name, "PreparedDistance", func() {
+			pd := sm.PreparedDistance(sm.Prepare(in.X), sm.Prepare(in.Y))
+			if !agree(got, pd, p.Tol) {
+				r.add(name, in.Name, "stateful", "Distance=%v PreparedDistance=%v", got, pd)
+			}
+		})
+	}
+
+	// EarlyAbandoning: with an infinite cutoff, and with any cutoff the
+	// final value stays below, DistanceUpTo must equal Distance exactly;
+	// with a cutoff below the distance it must return a certified lower
+	// bound in [cutoff, Distance].
+	if ea, ok := p.M.(measure.EarlyAbandoning); ok {
+		r.Checks++
+		call(r, name, in.Name, "DistanceUpTo", func() {
+			if v := ea.DistanceUpTo(in.X, in.Y, math.Inf(1)); !sameValue(v, got) {
+				r.add(name, in.Name, "upto", "DistanceUpTo(+Inf)=%v Distance=%v", v, got)
+			}
+			if !math.IsNaN(got) && !math.IsInf(got, 0) {
+				if v := ea.DistanceUpTo(in.X, in.Y, got*1.5+1); !sameValue(v, got) {
+					r.add(name, in.Name, "upto", "cutoff not hit: DistanceUpTo=%v Distance=%v", v, got)
+				}
+				cutoff := got / 2
+				if v := ea.DistanceUpTo(in.X, in.Y, cutoff); v < cutoff || v > got {
+					r.add(name, in.Name, "upto",
+						"abandoned value %v outside [cutoff=%v, d=%v]", v, cutoff, got)
+				}
+			}
+		})
+	}
+
+	// LowerBounded: the cascade must never exceed the true distance.
+	if lb, ok := p.M.(measure.LowerBounded); ok && wellBehaved {
+		r.Checks++
+		call(r, name, in.Name, "LowerBound", func() {
+			cx := lb.NewBoundContext(len(in.X))
+			cy := lb.NewBoundContext(len(in.Y))
+			cx.Fill(in.X)
+			cy.Fill(in.Y)
+			sd := measure.Sanitize(got)
+			if v := lb.LowerBound(in.X, in.Y, cx, cy, math.Inf(1)); v > sd {
+				r.add(name, in.Name, "lowerbound", "LowerBound=%v > Distance=%v", v, sd)
+			}
+		})
+	}
+}
+
+// CheckPanicsOnMismatch verifies the documented contract that equal-length
+// measures reject mismatched series lengths by panicking rather than
+// reading out of bounds or returning garbage.
+func CheckPanicsOnMismatch(r *Report, m measure.Measure) {
+	r.Checks++
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2}
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		m.Distance(x, y)
+	}()
+	if !panicked {
+		r.add(m.Name(), "mismatched-lengths", "panic", "Distance(len 4, len 2) did not panic")
+	}
+}
+
+// CheckEngines runs the third differential route: the pruned search engine
+// against exhaustive matrix evaluation, for both 1-NN (queries vs refs)
+// and leave-one-out over refs. Neighbors must match exactly — including
+// ties — and so must the reported distances.
+func CheckEngines(r *Report, m measure.Measure, queries, refs [][]float64) {
+	name := m.Name()
+	call(r, name, "engine", "OneNN", func() {
+		r.Checks++
+		got := search.OneNN(m, queries, refs)
+		e := eval.Matrix(m, queries, refs)
+		want := eval.Neighbors(e)
+		for i := range want {
+			if got.Indices[i] != want[i] {
+				r.add(name, fmt.Sprintf("onenn/query=%d", i), "engine",
+					"pruned neighbor %d, matrix neighbor %d", got.Indices[i], want[i])
+				continue
+			}
+			if want[i] >= 0 && !sameValue(got.Distances[i], e[i][want[i]]) {
+				r.add(name, fmt.Sprintf("onenn/query=%d", i), "engine",
+					"pruned distance %v, matrix distance %v", got.Distances[i], e[i][want[i]])
+			}
+		}
+	})
+	call(r, name, "engine", "LeaveOneOut", func() {
+		r.Checks++
+		got := search.LeaveOneOut(m, refs)
+		w := eval.Matrix(m, refs, refs)
+		want := eval.LeaveOneOutNeighbors(w)
+		for i := range want {
+			if got.Indices[i] != want[i] {
+				r.add(name, fmt.Sprintf("loo/row=%d", i), "engine",
+					"pruned neighbor %d, matrix neighbor %d", got.Indices[i], want[i])
+				continue
+			}
+			if want[i] >= 0 && !sameValue(got.Distances[i], w[i][want[i]]) {
+				r.add(name, fmt.Sprintf("loo/row=%d", i), "engine",
+					"pruned distance %v, matrix distance %v", got.Distances[i], w[i][want[i]])
+			}
+		}
+	})
+}
+
+// Fuzz drives the full harness for one seed: every registry pair against
+// every corpus input, the mismatched-length contract, and both search
+// engines on small reference sets (one zero-mean, one strictly positive
+// for the probability-style measures), each salted with duplicate series
+// so exact ties exercise tie-breaking.
+func Fuzz(seed int64) *Report {
+	r := &Report{}
+	corpus := Corpus(seed)
+	pairs := Pairs()
+	for _, p := range pairs {
+		for _, in := range corpus {
+			CheckPair(r, p, in)
+		}
+		CheckPanicsOnMismatch(r, p.M)
+	}
+	queries, refs := EngineSets(seed, false)
+	pqueries, prefs := EngineSets(seed, true)
+	for _, p := range pairs {
+		CheckEngines(r, p.M, queries, refs)
+		CheckEngines(r, p.M, pqueries, prefs)
+	}
+	return r
+}

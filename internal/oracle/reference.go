@@ -1,0 +1,842 @@
+// Package oracle provides straightforward, obviously-correct reference
+// implementations of every distance measure in the library and a
+// differential-testing harness that fuzzes randomized and adversarial
+// inputs through three routes — the optimized measure, the oracle measure,
+// and the pruned search engine versus exhaustive matrix evaluation — and
+// asserts agreement within documented tolerances.
+//
+// The reference implementations trade every optimization for clarity: full
+// (m+1)-by-(m+1) DP matrices instead of two rolling rows, direct O(m^2)
+// sliding sums instead of FFTs, and plain per-term loops for the lock-step
+// formulas. They share only the *documented conventions* with the optimized
+// code (the guarded arithmetic of package measure, the Sakoe-Chiba band
+// definition, the FFT cross-correlation shift indexing), never its code.
+package oracle
+
+import "math"
+
+// Ref is a reference distance function over two equal-length series.
+type Ref func(x, y []float64) float64
+
+//
+// ---- guarded arithmetic (the documented conventions of package measure,
+// restated independently) ----
+//
+
+// div: 0/0 := 0, x/0 := +Inf for x != 0.
+func div(num, den float64) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// xlogx: 0*log(0) := 0; negative x is undefined (+Inf).
+func xlogx(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	if x < 0 {
+		return math.Inf(1)
+	}
+	return x * math.Log(x)
+}
+
+// xlogxOverY: 0*log(0/y) := 0; negative x or non-positive y with positive x
+// is undefined (+Inf).
+func xlogxOverY(x, y float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	if x < 0 || y <= 0 {
+		return math.Inf(1)
+	}
+	return x * math.Log(x/y)
+}
+
+// safeSqrt tolerates tiny negative rounding noise; substantially negative
+// inputs yield NaN (undefined).
+func safeSqrt(x float64) float64 {
+	if x < 0 {
+		if x > -1e-12 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return math.Sqrt(x)
+}
+
+// sanitizeNaN maps NaN to +Inf (undefined distances rank last).
+func sanitizeNaN(d float64) float64 {
+	if math.IsNaN(d) {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// sum builds a Ref accumulating a per-index term.
+func sum(term func(a, b float64) float64) Ref {
+	return func(x, y []float64) float64 {
+		var s float64
+		for i := range x {
+			s += term(x[i], y[i])
+		}
+		return s
+	}
+}
+
+// ratio builds a Ref dividing two per-index term sums with the div guard.
+func ratio(num, den func(a, b float64) float64) Ref {
+	return func(x, y []float64) float64 {
+		var n, d float64
+		for i := range x {
+			n += num(x[i], y[i])
+			d += den(x[i], y[i])
+		}
+		return div(n, d)
+	}
+}
+
+//
+// ---- lock-step references ----
+//
+
+func refEuclidean(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func refMinkowski(p float64) Ref {
+	return func(x, y []float64) float64 {
+		var s float64
+		for i := range x {
+			s += math.Pow(math.Abs(x[i]-y[i]), p)
+		}
+		return math.Pow(s, 1/p)
+	}
+}
+
+func refChebyshev(x, y []float64) float64 {
+	var m float64
+	for i := range x {
+		if d := math.Abs(x[i] - y[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// refGower is the mean absolute difference; on an empty pair the 0/0
+// convention applies, so the distance is 0 (two empty series are identical).
+func refGower(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += math.Abs(x[i] - y[i])
+	}
+	return div(s, float64(len(x)))
+}
+
+func refCosine(x, y []float64) float64 {
+	var xy, xx, yy float64
+	for i := range x {
+		xy += x[i] * y[i]
+		xx += x[i] * x[i]
+		yy += y[i] * y[i]
+	}
+	return 1 - div(xy, math.Sqrt(xx)*math.Sqrt(yy))
+}
+
+func refKumarHassebrook(x, y []float64) float64 {
+	var xy, xx, yy float64
+	for i := range x {
+		xy += x[i] * y[i]
+		xx += x[i] * x[i]
+		yy += y[i] * y[i]
+	}
+	return 1 - div(xy, xx+yy-xy)
+}
+
+func refJaccard(x, y []float64) float64 {
+	var sq, xy, xx, yy float64
+	for i := range x {
+		d := x[i] - y[i]
+		sq += d * d
+		xy += x[i] * y[i]
+		xx += x[i] * x[i]
+		yy += y[i] * y[i]
+	}
+	return div(sq, xx+yy-xy)
+}
+
+func refDice(x, y []float64) float64 {
+	var sq, xx, yy float64
+	for i := range x {
+		d := x[i] - y[i]
+		sq += d * d
+		xx += x[i] * x[i]
+		yy += y[i] * y[i]
+	}
+	return div(sq, xx+yy)
+}
+
+func refBhattacharyya(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += safeSqrt(x[i] * y[i])
+	}
+	if s <= 0 || math.IsNaN(s) {
+		return math.Inf(1)
+	}
+	return -math.Log(s)
+}
+
+func refJeffreys(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			if x[i] == y[i] {
+				continue
+			}
+			return math.Inf(1)
+		}
+		s += (x[i] - y[i]) * math.Log(x[i]/y[i])
+	}
+	return s
+}
+
+func refEmanonMinMax(useMax bool) Ref {
+	return func(x, y []float64) float64 {
+		var sx, sy float64
+		for i := range x {
+			d := x[i] - y[i]
+			sx += div(d*d, x[i])
+			sy += div(d*d, y[i])
+		}
+		if useMax {
+			return math.Max(sx, sy)
+		}
+		return math.Min(sx, sy)
+	}
+}
+
+func refAvgL1Linf(x, y []float64) float64 {
+	var s, mx float64
+	for i := range x {
+		d := math.Abs(x[i] - y[i])
+		s += d
+		if d > mx {
+			mx = d
+		}
+	}
+	return (s + mx) / 2
+}
+
+// refDISSIM is the trapezoidal integral of the point-wise distance.
+func refDISSIM(x, y []float64) float64 {
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	if m == 1 {
+		return math.Abs(x[0] - y[0])
+	}
+	var s float64
+	for i := 1; i < m; i++ {
+		s += (math.Abs(x[i-1]-y[i-1]) + math.Abs(x[i]-y[i])) / 2
+	}
+	return s
+}
+
+// refASD rescales y by the least-squares factor <x,y>/<y,y> before the
+// Euclidean comparison.
+func refASD(x, y []float64) float64 {
+	var xy, yy float64
+	for i := range x {
+		xy += x[i] * y[i]
+		yy += y[i] * y[i]
+	}
+	a := 1.0
+	if yy != 0 {
+		a = xy / yy
+	}
+	var s float64
+	for i := range x {
+		d := x[i] - a*y[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+//
+// ---- elastic references: full-matrix dynamic programs ----
+//
+
+// window is the Sakoe-Chiba band convention shared by the library: the
+// half-width as a percentage of the length, at least 1 cell, unconstrained
+// at >= 100 percent.
+func window(deltaPercent, m int) int {
+	if deltaPercent >= 100 {
+		return m
+	}
+	w := deltaPercent * m / 100
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// matrix allocates an (n+1)-by-(n+1) DP table filled with fill.
+func matrix(n int, fill float64) [][]float64 {
+	t := make([][]float64, n+1)
+	for i := range t {
+		t[i] = make([]float64, n+1)
+		for j := range t[i] {
+			t[i][j] = fill
+		}
+	}
+	return t
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}
+
+// refDTW: banded DTW over the full cost matrix, squared point cost, no
+// final square root.
+func refDTW(deltaPercent int) Ref {
+	return func(x, y []float64) float64 {
+		m := len(x)
+		if m == 0 {
+			return 0
+		}
+		w := window(deltaPercent, m)
+		t := matrix(m, math.Inf(1))
+		t[0][0] = 0
+		for i := 1; i <= m; i++ {
+			for j := maxInt(1, i-w); j <= minInt(m, i+w); j++ {
+				c := x[i-1] - y[j-1]
+				t[i][j] = c*c + min3(t[i-1][j-1], t[i-1][j], t[i][j-1])
+			}
+		}
+		return t[m][m]
+	}
+}
+
+// refLCSS: banded longest common subsequence; out-of-band cells count zero
+// matches. Distance is 1 - L/m.
+func refLCSS(deltaPercent int, epsilon float64) Ref {
+	return func(x, y []float64) float64 {
+		m := len(x)
+		if m == 0 {
+			return 0
+		}
+		w := window(deltaPercent, m)
+		t := matrix(m, 0)
+		for i := 1; i <= m; i++ {
+			for j := maxInt(1, i-w); j <= minInt(m, i+w); j++ {
+				if math.Abs(x[i-1]-y[j-1]) <= epsilon {
+					t[i][j] = t[i-1][j-1] + 1
+				} else {
+					t[i][j] = math.Max(t[i-1][j], t[i][j-1])
+				}
+			}
+		}
+		return 1 - t[m][m]/float64(m)
+	}
+}
+
+// refEDR: unit-cost edit distance with an epsilon match band.
+func refEDR(epsilon float64) Ref {
+	return func(x, y []float64) float64 {
+		m := len(x)
+		t := matrix(m, 0)
+		for i := 0; i <= m; i++ {
+			t[i][0] = float64(i)
+		}
+		for j := 0; j <= m; j++ {
+			t[0][j] = float64(j)
+		}
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				sub := 1.0
+				if math.Abs(x[i-1]-y[j-1]) <= epsilon {
+					sub = 0
+				}
+				t[i][j] = min3(t[i-1][j-1]+sub, t[i-1][j]+1, t[i][j-1]+1)
+			}
+		}
+		return t[m][m]
+	}
+}
+
+// refERP: edit distance with real penalty against the gap value g.
+func refERP(g float64) Ref {
+	return func(x, y []float64) float64 {
+		m := len(x)
+		t := matrix(m, 0)
+		for i := 1; i <= m; i++ {
+			t[i][0] = t[i-1][0] + math.Abs(x[i-1]-g)
+		}
+		for j := 1; j <= m; j++ {
+			t[0][j] = t[0][j-1] + math.Abs(y[j-1]-g)
+		}
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				t[i][j] = math.Min(
+					t[i-1][j-1]+math.Abs(x[i-1]-y[j-1]),
+					math.Min(t[i-1][j]+math.Abs(x[i-1]-g), t[i][j-1]+math.Abs(y[j-1]-g)),
+				)
+			}
+		}
+		return t[m][m]
+	}
+}
+
+// refMSM: move-split-merge over the full n-by-n table.
+func refMSM(c float64) Ref {
+	cost := func(p, a, b float64) float64 {
+		if (a <= p && p <= b) || (b <= p && p <= a) {
+			return c
+		}
+		return c + math.Min(math.Abs(p-a), math.Abs(p-b))
+	}
+	return func(x, y []float64) float64 {
+		n := len(x)
+		if n == 0 {
+			return 0
+		}
+		t := make([][]float64, n)
+		for i := range t {
+			t[i] = make([]float64, n)
+		}
+		t[0][0] = math.Abs(x[0] - y[0])
+		for j := 1; j < n; j++ {
+			t[0][j] = t[0][j-1] + cost(y[j], x[0], y[j-1])
+		}
+		for i := 1; i < n; i++ {
+			t[i][0] = t[i-1][0] + cost(x[i], x[i-1], y[0])
+			for j := 1; j < n; j++ {
+				t[i][j] = math.Min(
+					t[i-1][j-1]+math.Abs(x[i]-y[j]),
+					math.Min(t[i-1][j]+cost(x[i], x[i-1], y[j]), t[i][j-1]+cost(y[j], x[i], y[j-1])),
+				)
+			}
+		}
+		return t[n-1][n-1]
+	}
+}
+
+// refTWE: time warp edit distance with the leading zero-sample padding.
+func refTWE(lambda, nu float64) Ref {
+	return func(x, y []float64) float64 {
+		m := len(x)
+		if m == 0 {
+			return 0
+		}
+		xp := append([]float64{0}, x...)
+		yp := append([]float64{0}, y...)
+		t := matrix(m, math.Inf(1))
+		t[0][0] = 0
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				delA := t[i-1][j] + math.Abs(xp[i]-xp[i-1]) + nu + lambda
+				delB := t[i][j-1] + math.Abs(yp[j]-yp[j-1]) + nu + lambda
+				match := t[i-1][j-1] + math.Abs(xp[i]-yp[j]) + math.Abs(xp[i-1]-yp[j-1]) +
+					2*nu*math.Abs(float64(i-j))
+				t[i][j] = math.Min(match, math.Min(delA, delB))
+			}
+		}
+		return t[m][m]
+	}
+}
+
+// refSwale: negated sequence weighted alignment similarity.
+func refSwale(epsilon, p, r float64) Ref {
+	return func(x, y []float64) float64 {
+		m := len(x)
+		t := matrix(m, 0)
+		for i := 0; i <= m; i++ {
+			t[i][0] = -p * float64(i)
+		}
+		for j := 0; j <= m; j++ {
+			t[0][j] = -p * float64(j)
+		}
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				if math.Abs(x[i-1]-y[j-1]) <= epsilon {
+					t[i][j] = t[i-1][j-1] + r
+				} else {
+					t[i][j] = math.Max(t[i-1][j], t[i][j-1]) - p
+				}
+			}
+		}
+		return -t[m][m]
+	}
+}
+
+// refDerivative is the Keogh-Pazzani slope estimate with replicated
+// endpoints; series shorter than 3 points have zero slope everywhere.
+func refDerivative(x []float64) []float64 {
+	m := len(x)
+	out := make([]float64, m)
+	if m < 3 {
+		return out
+	}
+	for i := 1; i < m-1; i++ {
+		out[i] = ((x[i] - x[i-1]) + (x[i+1]-x[i-1])/2) / 2
+	}
+	out[0] = out[1]
+	out[m-1] = out[m-2]
+	return out
+}
+
+func refDDTW(deltaPercent int) Ref {
+	dtw := refDTW(deltaPercent)
+	return func(x, y []float64) float64 {
+		return dtw(refDerivative(x), refDerivative(y))
+	}
+}
+
+func refDDBlend(deltaPercent int, alpha float64) Ref {
+	dtw := refDTW(deltaPercent)
+	return func(x, y []float64) float64 {
+		return (1-alpha)*dtw(x, y) + alpha*dtw(refDerivative(x), refDerivative(y))
+	}
+}
+
+// refWDTW: full-matrix DTW with the logistic phase-difference weight.
+func refWDTW(g, wmax float64) Ref {
+	if wmax == 0 {
+		wmax = 1
+	}
+	return func(x, y []float64) float64 {
+		m := len(x)
+		if m == 0 {
+			return 0
+		}
+		weights := make([]float64, m)
+		for a := range weights {
+			weights[a] = wmax / (1 + math.Exp(-g*(float64(a)-float64(m)/2)))
+		}
+		t := matrix(m, math.Inf(1))
+		t[0][0] = 0
+		for i := 1; i <= m; i++ {
+			for j := 1; j <= m; j++ {
+				d := x[i-1] - y[j-1]
+				phase := i - j
+				if phase < 0 {
+					phase = -phase
+				}
+				t[i][j] = weights[phase]*d*d + min3(t[i-1][j-1], t[i-1][j], t[i][j-1])
+			}
+		}
+		return t[m][m]
+	}
+}
+
+// refCID wraps a base reference with the complexity-invariant correction.
+func refCID(base Ref) Ref {
+	ce := func(x []float64) float64 {
+		var s float64
+		for i := 1; i < len(x); i++ {
+			d := x[i] - x[i-1]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	return func(x, y []float64) float64 {
+		b := base(x, y)
+		cx, cy := ce(x), ce(y)
+		lo, hi := math.Min(cx, cy), math.Max(cx, cy)
+		if lo == 0 {
+			if hi == 0 {
+				return b
+			}
+			return math.Inf(1)
+		}
+		return b * hi / lo
+	}
+}
+
+//
+// ---- sliding references: direct O(m^2) cross-correlation ----
+//
+
+// crossCorr computes the full 2m-1 point cross-correlation directly: entry
+// k corresponds to shift s = k-(m-1) of y relative to x, cc[k] =
+// sum_i x[i]*y[i-s] — the library's documented FFT indexing convention.
+func crossCorr(x, y []float64) []float64 {
+	m := len(x)
+	if m == 0 {
+		return nil
+	}
+	cc := make([]float64, 2*m-1)
+	for k := range cc {
+		s := k - (m - 1)
+		var sum float64
+		for i := range x {
+			j := i - s
+			if j >= 0 && j < m {
+				sum += x[i] * y[j]
+			}
+		}
+		cc[k] = sum
+	}
+	return cc
+}
+
+func norm2(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// refNCC is the raw maximum cross-correlation, negated into a
+// dissimilarity. Empty series are identical: distance 0.
+func refNCC(x, y []float64) float64 {
+	cc := crossCorr(x, y)
+	if len(cc) == 0 {
+		return 0
+	}
+	best := math.Inf(-1)
+	for _, v := range cc {
+		if v > best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return -best
+}
+
+// refNCCb divides by the length m (biased estimator).
+func refNCCb(x, y []float64) float64 {
+	cc := crossCorr(x, y)
+	if len(cc) == 0 {
+		return 0
+	}
+	best := math.Inf(-1)
+	for _, v := range cc {
+		if s := v / float64(len(x)); s > best {
+			best = s
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return -best
+}
+
+// refNCCu divides shift w (1-based) by m - |w - m| (unbiased estimator).
+func refNCCu(x, y []float64) float64 {
+	cc := crossCorr(x, y)
+	if len(cc) == 0 {
+		return 0
+	}
+	m := float64(len(x))
+	best := math.Inf(-1)
+	for k, v := range cc {
+		den := m - math.Abs(float64(k+1)-m)
+		if den <= 0 {
+			continue
+		}
+		if s := v / den; s > best {
+			best = s
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return -best
+}
+
+// refNCCc is the shape-based distance 1 - max_w cc_w/(||x||*||y||); a
+// zero-norm non-empty series has coefficient 0 everywhere (distance 1),
+// and empty series are identical (distance 0).
+func refNCCc(x, y []float64) float64 {
+	cc := crossCorr(x, y)
+	if len(cc) == 0 {
+		return 0
+	}
+	den := norm2(x) * norm2(y)
+	if den == 0 {
+		return 1
+	}
+	best := math.Inf(-1)
+	for _, v := range cc {
+		if s := v / den; s > best {
+			best = s
+		}
+	}
+	return 1 - best
+}
+
+//
+// ---- kernel references ----
+//
+
+// refNormalizedKernel is the 1 - k(x,y)/sqrt(k(x,x)k(y,y)) conversion with
+// the degenerate-self-kernel guard.
+func refNormalizedKernel(kxy, kxx, kyy float64) float64 {
+	den := math.Sqrt(kxx * kyy)
+	if den == 0 || math.IsNaN(den) || math.IsInf(den, 0) {
+		return 1
+	}
+	return 1 - kxy/den
+}
+
+func refRBF(gamma float64) Ref {
+	return func(x, y []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - y[i]
+			s += d * d
+		}
+		return 1 - math.Exp(-gamma*s)
+	}
+}
+
+// refSINKRaw is the unnormalized SINK kernel: sum over all shifts of
+// exp(gamma * cc_w/(||x||*||y||)), with the zero-denominator convention
+// that every coefficient is 0 (so the sum is the shift count).
+func refSINKRaw(gamma float64, x, y []float64) float64 {
+	cc := crossCorr(x, y)
+	den := norm2(x) * norm2(y)
+	if den == 0 {
+		return float64(len(cc))
+	}
+	var s float64
+	for _, v := range cc {
+		s += math.Exp(gamma * v / den)
+	}
+	return s
+}
+
+func refSINK(gamma float64) Ref {
+	return func(x, y []float64) float64 {
+		return refNormalizedKernel(
+			refSINKRaw(gamma, x, y),
+			refSINKRaw(gamma, x, x),
+			refSINKRaw(gamma, y, y),
+		)
+	}
+}
+
+// refGAKLog runs the log-space global alignment recursion over the full
+// matrix and returns log k(x, y).
+func refGAKLog(sigma float64, x, y []float64) float64 {
+	m := len(x)
+	if m == 0 {
+		return 0
+	}
+	twoSigmaSq := 2 * sigma * sigma
+	phi := func(a, b float64) float64 {
+		d := a - b
+		e := d * d / twoSigmaSq
+		return e + math.Log(2-math.Exp(-e))
+	}
+	lse3 := func(a, b, c float64) float64 {
+		mx := math.Max(a, math.Max(b, c))
+		if math.IsInf(mx, -1) {
+			return mx
+		}
+		return mx + math.Log(math.Exp(a-mx)+math.Exp(b-mx)+math.Exp(c-mx))
+	}
+	t := matrix(m, math.Inf(-1))
+	t[0][0] = 0
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= m; j++ {
+			t[i][j] = lse3(t[i-1][j], t[i][j-1], t[i-1][j-1]) - phi(x[i-1], y[j-1])
+		}
+	}
+	return t[m][m]
+}
+
+func refGAK(sigma float64) Ref {
+	return func(x, y []float64) float64 {
+		return -(refGAKLog(sigma, x, y) - (refGAKLog(sigma, x, x)+refGAKLog(sigma, y, y))/2)
+	}
+}
+
+// refKDTWRaw evaluates the two KDTW recursions (alignment and diagonal
+// regularization) over full matrices, with the reference implementation's
+// boundary conventions and regularized local kernel.
+func refKDTWRaw(gamma float64, x, y []float64) float64 {
+	const eps = 1e-3
+	m := len(x)
+	if m == 0 {
+		return 1
+	}
+	local := func(a, b float64) float64 {
+		d := a - b
+		return (math.Exp(-gamma*d*d) + eps) / (3 * (1 + eps))
+	}
+	diag := make([]float64, m+1)
+	diag[0] = 1
+	for i := 1; i <= m; i++ {
+		diag[i] = local(x[i-1], y[i-1])
+	}
+	dp := matrix(m, 0)
+	dp1 := matrix(m, 0)
+	dp[0][0] = 1
+	dp1[0][0] = 1
+	for j := 1; j <= m; j++ {
+		dp[0][j] = dp[0][j-1] * local(x[0], y[j-1])
+		dp1[0][j] = dp1[0][j-1] * diag[j]
+	}
+	for i := 1; i <= m; i++ {
+		dp[i][0] = dp[i-1][0] * local(x[i-1], y[0])
+		dp1[i][0] = dp1[i-1][0] * diag[i]
+		for j := 1; j <= m; j++ {
+			lk := local(x[i-1], y[j-1])
+			dp[i][j] = (dp[i-1][j] + dp[i][j-1] + dp[i-1][j-1]) * lk
+			if i == j {
+				dp1[i][j] = dp1[i-1][j-1]*lk + dp1[i-1][j]*diag[i] + dp1[i][j-1]*diag[j]
+			} else {
+				dp1[i][j] = dp1[i-1][j]*diag[i] + dp1[i][j-1]*diag[j]
+			}
+		}
+	}
+	return dp[m][m] + dp1[m][m]
+}
+
+func refKDTW(gamma float64) Ref {
+	return func(x, y []float64) float64 {
+		return refNormalizedKernel(
+			refKDTWRaw(gamma, x, y),
+			refKDTWRaw(gamma, x, x),
+			refKDTWRaw(gamma, y, y),
+		)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -102,6 +102,11 @@ func (m *Measure) Distance(x, y []float64) float64 {
 // dissimilarity. Index k of cc corresponds to w = k+1 in the paper's
 // notation (w in 1..2m-1).
 func (m *Measure) fromCC(cc []float64, length int, nx, ny float64) float64 {
+	if len(cc) == 0 {
+		// Two empty series are identical; without this guard the similarity
+		// maximum stays -Inf and every variant reported +Inf (or 1).
+		return 0
+	}
 	best := math.Inf(-1)
 	switch m.variant {
 	case NCC:
@@ -142,6 +147,9 @@ func (m *Measure) fromCC(cc []float64, length int, nx, ny float64) float64 {
 			}
 		}
 		return 1 - best
+	}
+	if best == 0 {
+		return 0 // avoid the negative zero of -best
 	}
 	return -best
 }

@@ -349,3 +349,62 @@ func TestCDDiagramRenders(t *testing.T) {
 		t.Error("empty diagram should be empty string")
 	}
 }
+
+// TestWilcoxonNaNPairsDropped is the regression test for the NaN-poisoning
+// bug: a NaN difference used to pass the d != 0 filter, get ranked into
+// WMinus, and turn MeanDiff and the rank sums into NaN. NaN pairs must be
+// excluded from the test entirely and counted in Dropped.
+func TestWilcoxonNaNPairsDropped(t *testing.T) {
+	x := []float64{0.9, math.NaN(), 0.8, 0.7, 0.95, 0.6}
+	y := []float64{0.5, 0.4, 0.6, math.NaN(), 0.5, 0.7}
+	res := Wilcoxon(x, y)
+	if res.Dropped != 2 {
+		t.Errorf("Dropped = %d, want 2", res.Dropped)
+	}
+	if res.N != 4 {
+		t.Errorf("N = %d, want 4 (NaN pairs excluded)", res.N)
+	}
+	if got := res.Wins + res.Ties + res.Losses; got != 4 {
+		t.Errorf("Wins+Ties+Losses = %d, want 4", got)
+	}
+	if math.IsNaN(res.MeanDiff) || math.IsNaN(res.WPlus) || math.IsNaN(res.WMinus) {
+		t.Errorf("NaN leaked into statistics: MeanDiff=%v WPlus=%v WMinus=%v",
+			res.MeanDiff, res.WPlus, res.WMinus)
+	}
+	if math.IsNaN(res.PValue) || res.PValue < 0 || res.PValue > 1 {
+		t.Errorf("PValue = %v, want a probability", res.PValue)
+	}
+	// The retained pairs are x>y thrice and x<y once; mean over 4 pairs.
+	wantMean := ((0.9 - 0.5) + (0.8 - 0.6) + (0.95 - 0.5) + (0.6 - 0.7)) / 4
+	if math.Abs(res.MeanDiff-wantMean) > 1e-12 {
+		t.Errorf("MeanDiff = %v, want %v", res.MeanDiff, wantMean)
+	}
+}
+
+// TestWilcoxonAllZeroDifferences pins the degenerate identical-samples
+// case: no non-zero differences means no evidence against the null, so the
+// test must report N = 0 and p = 1 rather than NaN or a panic.
+func TestWilcoxonAllZeroDifferences(t *testing.T) {
+	x := []float64{0.5, 0.5, 0.7, 0.9}
+	res := Wilcoxon(x, x)
+	if res.N != 0 || res.PValue != 1 || res.Z != 0 {
+		t.Errorf("identical samples: N=%d p=%v Z=%v, want N=0 p=1 Z=0", res.N, res.PValue, res.Z)
+	}
+	if res.Ties != len(x) || res.MeanDiff != 0 {
+		t.Errorf("identical samples: Ties=%d MeanDiff=%v", res.Ties, res.MeanDiff)
+	}
+}
+
+// TestWilcoxonAllNaNPairs drives the dropped-pair path to exhaustion:
+// when every pair is NaN the test degenerates to the empty sample.
+func TestWilcoxonAllNaNPairs(t *testing.T) {
+	x := []float64{math.NaN(), math.NaN()}
+	y := []float64{1, math.NaN()}
+	res := Wilcoxon(x, y)
+	if res.Dropped != 2 || res.N != 0 {
+		t.Errorf("Dropped=%d N=%d, want 2 and 0", res.Dropped, res.N)
+	}
+	if res.PValue != 1 || res.MeanDiff != 0 {
+		t.Errorf("PValue=%v MeanDiff=%v, want 1 and 0", res.PValue, res.MeanDiff)
+	}
+}

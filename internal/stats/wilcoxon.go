@@ -17,16 +17,18 @@ type WilcoxonResult struct {
 	Wins     int     // datasets where x > y
 	Ties     int     // datasets where x == y
 	Losses   int     // datasets where x < y
-	MeanDiff float64 // mean of x - y over all pairs
+	Dropped  int     // pairs excluded because either value is NaN
+	MeanDiff float64 // mean of x - y over the retained pairs
 }
 
 // Wilcoxon performs the two-sided Wilcoxon signed-rank test on the paired
 // samples x and y, following the convention of Demšar (2006): zero
 // differences are dropped and ties among the absolute differences receive
-// midranks. For n <= 25 non-zero differences the p-value comes from the
-// exact permutation distribution of the rank sum; larger samples use the
-// normal approximation with tie correction. It panics when the samples
-// have different lengths.
+// midranks. Pairs where either value is NaN carry no rank information and
+// are excluded entirely (counted in Dropped). For n <= 25 non-zero
+// differences the p-value comes from the exact permutation distribution of
+// the rank sum; larger samples use the normal approximation with tie
+// correction. It panics when the samples have different lengths.
 func Wilcoxon(x, y []float64) WilcoxonResult {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("stats: Wilcoxon sample length mismatch %d vs %d", len(x), len(y)))
@@ -34,8 +36,16 @@ func Wilcoxon(x, y []float64) WilcoxonResult {
 	var res WilcoxonResult
 	diffs := make([]float64, 0, len(x))
 	var sumDiff float64
+	kept := 0
 	for i := range x {
 		d := x[i] - y[i]
+		if math.IsNaN(d) {
+			// A NaN would previously slip past the d != 0 filter, get
+			// ranked, and poison WMinus and MeanDiff with NaN.
+			res.Dropped++
+			continue
+		}
+		kept++
 		sumDiff += d
 		switch {
 		case d > 0:
@@ -49,8 +59,8 @@ func Wilcoxon(x, y []float64) WilcoxonResult {
 			diffs = append(diffs, d)
 		}
 	}
-	if len(x) > 0 {
-		res.MeanDiff = sumDiff / float64(len(x))
+	if kept > 0 {
+		res.MeanDiff = sumDiff / float64(kept)
 	}
 	res.N = len(diffs)
 	if res.N == 0 {
