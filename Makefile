@@ -26,8 +26,12 @@ oracle:
 oracle-long:
 	$(GO) test ./internal/oracle -run Oracle -oracle.long
 
+# Smoke-run every benchmark once, then measure the grid tuning benchmarks
+# for real (per-candidate loop vs grid engine, with allocation counts) and
+# record them as BENCH_tuning.json via cmd/benchjson.
 bench:
-	$(GO) test -bench . -benchtime 1x ./...
+	$(GO) test -bench . -benchtime 1x -benchmem ./...
+	$(GO) test -bench BenchmarkGridTuning -benchmem ./internal/search | $(GO) run ./cmd/benchjson -o BENCH_tuning.json
 
 # Regenerate the golden experiment outputs after an intentional change to
 # a measure, engine, or renderer; commit the resulting diff.

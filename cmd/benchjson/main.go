@@ -1,0 +1,87 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON array of {name, ns_per_op, bytes_per_op, allocs_per_op}
+// records. The raw benchmark lines are echoed to stdout unchanged so the
+// command can sit at the end of a pipeline without hiding the run; the
+// JSON goes to the file named by -o (or stdout when -o is empty).
+//
+// Usage:
+//
+//	go test -bench GridTuning -benchmem ./internal/search | benchjson -o BENCH_tuning.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+)
+
+// Record is one benchmark result. GOMAXPROCS suffixes are stripped from
+// the name so committed files do not encode the build machine's core
+// count; the measured values, of course, still do.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// benchLineRE matches the tabular result line `go test -bench` prints:
+// name, iteration count, ns/op, and optionally the -benchmem columns.
+var benchLineRE = regexp.MustCompile(
+	`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "write the JSON array to this file (default stdout)")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		m := benchLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[3], 10, 64)
+		ns, _ := strconv.ParseFloat(m[4], 64)
+		rec := Record{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[5] != "" {
+			rec.BytesPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		if m[6] != "" {
+			rec.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("[benchmark results written to %s]\n", *out)
+}

@@ -37,15 +37,21 @@ func goldenOpts() experiments.Options {
 // "1m2s") without touching plain decimal columns like accuracies.
 var durationRE = regexp.MustCompile(`\b(\d+h)?(\d+m)?\d+(\.\d+)?(ns|µs|us|ms|s)\b`)
 
-// ratioRE matches the pruning table's speedup column, which sits between
-// the two scrubbed duration columns and is as volatile as they are.
+// ratioRE matches the pruning and tuning tables' speedup column, which sits
+// between the two scrubbed duration columns and is as volatile as they are.
 var ratioRE = regexp.MustCompile(`(<DUR> <DUR> )\d+(\.\d+)?`)
+
+// warmPruneRE matches the tuning table's warm-prune-rate column, directly
+// after the speedup: its counters come from racing per-worker cutoffs, so
+// the value depends on scheduling and core count.
+var warmPruneRE = regexp.MustCompile(`(<RATIO> )\d+(\.\d+)?`)
 
 // scrub canonicalizes an experiment's rendered output: wall-clock values
 // become <DUR> (collapsing the alignment padding around them), the pruning
-// speedup becomes <RATIO>, and the figure9 body — sorted at runtime by
-// measured inference time — is re-sorted lexicographically so the golden
-// file does not depend on machine speed.
+// and tuning speedups become <RATIO>, the tuning warm-prune rate becomes
+// <RATE>, and the figure9 body — sorted at runtime by measured inference
+// time — is re-sorted lexicographically so the golden file does not depend
+// on machine speed.
 func scrub(name, out string) string {
 	lines := strings.Split(out, "\n")
 	for i, ln := range lines {
@@ -57,6 +63,9 @@ func scrub(name, out string) string {
 		// collapse runs of spaces on the lines we rewrote.
 		ln = strings.Join(strings.Fields(ln), " ")
 		ln = ratioRE.ReplaceAllString(ln, "${1}<RATIO>")
+		if name == "tuning" {
+			ln = warmPruneRE.ReplaceAllString(ln, "${1}<RATE>")
+		}
 		lines[i] = ln
 	}
 	if name == "figure9" && len(lines) > 2 {
@@ -134,6 +143,22 @@ func TestGoldenScrubStability(t *testing.T) {
 	}
 	if s := scrub("pruning", a); !strings.Contains(s, "0.9583") {
 		t.Errorf("deterministic accuracy was scrubbed away: %q", s)
+	}
+
+	c := "Tuning ablation: per-candidate loop vs shared-state grid engine\n" +
+		"grid   cands  naive        engine       speedup  warmPrune  prepShare  repaired  agree\n" +
+		"dtw    6      1.234s       541ms        2.28     0.61       0.00       0         true\n"
+	d := "Tuning ablation: per-candidate loop vs shared-state grid engine\n" +
+		"grid   cands  naive        engine       speedup  warmPrune  prepShare  repaired  agree\n" +
+		"dtw    6      410ms        201ms        2.04     0.58       0.00       0         true\n"
+	if scrub("tuning", c) != scrub("tuning", d) {
+		t.Errorf("tuning scrub is machine-dependent:\n%q\n%q", scrub("tuning", c), scrub("tuning", d))
+	}
+	if s := scrub("tuning", c); strings.Contains(s, "2.28") || strings.Contains(s, "0.61") {
+		t.Errorf("volatile tuning values survived scrubbing: %q", s)
+	}
+	if s := scrub("tuning", c); !strings.Contains(s, "0.00") || !strings.Contains(s, "true") {
+		t.Errorf("deterministic tuning columns were scrubbed away: %q", s)
 	}
 }
 

@@ -6,9 +6,9 @@
 //	tsbench [flags] [experiment ...]
 //
 // Experiments: table2 table3 table4 table5 table6 table7 figure1 figure2
-// figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10 pruning,
-// or "all". With no arguments, a summary of available experiments is
-// printed.
+// figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10 pruning
+// tuning, or "all". With no arguments, a summary of available experiments
+// is printed.
 //
 // Flags:
 //
@@ -37,6 +37,7 @@ var experimentOrder = []string{
 	"table2", "figure2", "figure3", "table3", "figure4", "table4",
 	"table5", "figure5", "figure6", "table6", "figure7", "figure8",
 	"table7", "figure9", "figure10", "figure1", "svm", "pruning",
+	"tuning",
 }
 
 func main() {
@@ -178,6 +179,9 @@ func run(name string, opts experiments.Options) (string, any, error) {
 	case "pruning":
 		rows := experiments.PruningAblation(opts)
 		return experiments.RenderPruning(rows), rows, nil
+	case "tuning":
+		rows := experiments.TuningAblation(opts)
+		return experiments.RenderTuning(rows), rows, nil
 	default:
 		return "", nil, fmt.Errorf("unknown experiment %q", name)
 	}

@@ -28,53 +28,64 @@ import (
 // exactly once; when it is exactly symmetric and the matrix is square over
 // the same series, only the upper triangle is computed and mirrored.
 func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
-	e := make([][]float64, len(queries))
-	if len(queries) == 0 {
+	n, p := len(queries), len(refs)
+	e := make([][]float64, n)
+	if n == 0 {
 		return e
 	}
-	workers := par.Workers(len(queries))
-
-	dist := func(i, j int) float64 {
-		return measure.Sanitize(m.Distance(queries[i], refs[j]))
+	// One flat backing array sliced into rows: a single allocation instead
+	// of one per row, and cache-contiguous row traversal downstream.
+	flat := make([]float64, n*p)
+	for i := range e {
+		e[i] = flat[i*p : (i+1)*p : (i+1)*p]
 	}
+	workers := par.Workers(n)
+
+	// Resolve the per-cell kernel once, outside the row loops: the Stateful
+	// fast path binds prepared states, and the plain path binds the Distance
+	// method value so neither the type switch nor the interface lookup runs
+	// per cell.
+	var dist func(i, j int) float64
 	if sm, ok := m.(measure.Stateful); ok {
 		pq := prepareAll(sm, queries, workers)
-		var pr []any
-		if sameSeries(queries, refs) {
-			pr = pq
-		} else {
+		pr := pq
+		if !sameSeries(queries, refs) {
 			pr = prepareAll(sm, refs, workers)
 		}
+		pdist := sm.PreparedDistance
 		dist = func(i, j int) float64 {
-			return measure.Sanitize(sm.PreparedDistance(pq[i], pr[j]))
+			return measure.Sanitize(pdist(pq[i], pr[j]))
+		}
+	} else {
+		mdist := m.Distance
+		dist = func(i, j int) float64 {
+			return measure.Sanitize(mdist(queries[i], refs[j]))
 		}
 	}
 
 	if measure.IsSymmetric(m) && sameSeries(queries, refs) {
-		for i := range e {
-			e[i] = make([]float64, len(refs))
-		}
-		parallelRows(len(queries), workers, func(i int) {
-			for j := i; j < len(refs); j++ {
-				e[i][j] = dist(i, j)
+		parallelRows(n, workers, func(i int) {
+			row := e[i]
+			for j := i; j < p; j++ {
+				row[j] = dist(i, j)
 			}
 		})
 		// Mirror the strict upper triangle; rows own their lower halves so
 		// the writes race with nothing.
-		parallelRows(len(queries), workers, func(i int) {
+		parallelRows(n, workers, func(i int) {
+			row := e[i]
 			for j := 0; j < i; j++ {
-				e[i][j] = e[j][i]
+				row[j] = e[j][i]
 			}
 		})
 		return e
 	}
 
-	parallelRows(len(queries), workers, func(i int) {
-		row := make([]float64, len(refs))
+	parallelRows(n, workers, func(i int) {
+		row := e[i]
 		for j := range refs {
 			row[j] = dist(i, j)
 		}
-		e[i] = row
 	})
 	return e
 }
@@ -204,28 +215,37 @@ type Grid struct {
 }
 
 // TuneSupervised returns the grid candidate maximizing leave-one-out
-// accuracy on the training split, together with that accuracy. Each
-// candidate is scored with the pruned search engine (halving the work for
-// symmetric measures) instead of materializing train-by-train matrices;
-// the selection is identical to the exhaustive computation. It panics on
-// an empty grid.
+// accuracy on the training split, together with that accuracy. The whole
+// grid is scored in one pass of the tuning engine (search.LeaveOneOutGrid),
+// which shares per-series preparation across candidates and warm-starts
+// nested candidates from each other's results; the selection — including
+// the grid-order tie-break — is identical to running each candidate
+// independently. It panics on an empty grid.
 func TuneSupervised(g Grid, train [][]float64, labels []int) (measure.Measure, float64) {
+	m, acc, _ := TuneSupervisedDetailed(g, train, labels)
+	return m, acc
+}
+
+// TuneSupervisedDetailed is TuneSupervised exposing the engine's sweep
+// statistics (preparation sharing, warm-start pruning, wave structure) for
+// the tuning ablation experiment.
+func TuneSupervisedDetailed(g Grid, train [][]float64, labels []int) (measure.Measure, float64, search.GridStats) {
 	if len(g.Candidates) == 0 {
 		panic(fmt.Sprintf("eval: empty grid %q", g.Name))
 	}
 	if len(train) != len(labels) {
 		panic(fmt.Sprintf("eval: %d training series, %d labels", len(train), len(labels)))
 	}
+	gr := search.LeaveOneOutGrid(g.Candidates, train)
 	bestIdx, bestAcc := 0, -1.0
-	for i, cand := range g.Candidates {
-		res := search.LeaveOneOut(cand, train)
-		acc := AccuracyFromNeighbors(res.Indices, labels, labels)
+	for i := range g.Candidates {
+		acc := AccuracyFromNeighbors(gr.PerCandidate[i].Indices, labels, labels)
 		if acc > bestAcc {
 			bestAcc = acc
 			bestIdx = i
 		}
 	}
-	return g.Candidates[bestIdx], bestAcc
+	return g.Candidates[bestIdx], bestAcc, gr.Stats
 }
 
 // Normalize applies the normalizer to every series of both splits,

@@ -170,6 +170,17 @@ func KernelGrids() []Grid {
 	return []Grid{KDTWGrid(), GAKGrid(), SINKGrid(), RBFGrid()}
 }
 
+// Grids returns every supervised parameter grid of Table 4: the elastic
+// grids, the kernel grids, and the Minkowski order grid. Exactness property
+// tests iterate it to compare the tuning engine against the per-candidate
+// reference on every grid family.
+func Grids() []Grid {
+	gs := ElasticGrids()
+	gs = append(gs, KernelGrids()...)
+	gs = append(gs, MinkowskiGrid())
+	return gs
+}
+
 // Thin returns a copy of the grid keeping every stride-th candidate
 // (always at least the first); experiment drivers use it for the reduced
 // -short configurations.

@@ -106,6 +106,12 @@ func TestLBPAAIsLowerBound(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
 	}
+	// Regression: with ragged segments (m not divisible by segs) a uniform
+	// m/segs weight overestimates the short segments and breaks the bound.
+	// This seed produced m=8, segs=5 and a violation of ~0.5.
+	if !f(-8449248227039515998) {
+		t.Error("LBPAA exceeds the Euclidean distance on ragged segments")
+	}
 }
 
 func TestLBPAAMismatchPanics(t *testing.T) {

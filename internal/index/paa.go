@@ -55,18 +55,36 @@ func PAA(x []float64, segments int) []float64 {
 }
 
 // LBPAA returns the PAA lower bound of the Euclidean distance between two
-// series given their PAA coefficients and the original length m:
-// sqrt(m/s * sum (a_i - b_i)^2) <= ED. It panics on length mismatch.
+// series given their PAA coefficients and the original length m. Each
+// coefficient difference is weighted by its segment's exact point count:
+// Cauchy-Schwarz gives sum_{i in seg}(x_i-y_i)^2 >= n_seg*(a_seg-b_seg)^2
+// per segment, so sqrt(sum n_seg*(a_seg-b_seg)^2) <= ED. When m divides
+// evenly this is the classic sqrt(m/s * sum (a_i-b_i)^2); with ragged
+// segments the uniform m/s weight would overestimate the short segments'
+// contribution and break the bound. It panics on length mismatch.
 func LBPAA(a, b []float64, m int) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("index: PAA length mismatch %d vs %d", len(a), len(b)))
 	}
-	var sum float64
-	for i := range a {
-		d := a[i] - b[i]
-		sum += d * d
+	s := len(a)
+	if m%s == 0 {
+		var sum float64
+		for i := range a {
+			d := a[i] - b[i]
+			sum += d * d
+		}
+		return math.Sqrt(float64(m) / float64(s) * sum)
 	}
-	return math.Sqrt(float64(m) / float64(len(a)) * sum)
+	// Segment seg holds the points i with i*s/m == seg, i.e. the integers
+	// in [seg*m/s, (seg+1)*m/s) — mirroring PAA's general path exactly.
+	var sum float64
+	for seg := range a {
+		d := a[seg] - b[seg]
+		lo := (seg*m + s - 1) / s
+		hi := ((seg+1)*m + s - 1) / s
+		sum += float64(hi-lo) * d * d
+	}
+	return math.Sqrt(sum)
 }
 
 // EDIndex is a GEMINI-style filter-and-refine index for Euclidean

@@ -96,6 +96,70 @@ type LowerBounded interface {
 	LowerBound(x, y []float64, cx, cy BoundContext, cutoff float64) float64
 }
 
+// PreparationSharing is an optional declaration for Stateful measures whose
+// Prepare output does not depend on the measure's parameters within a
+// family: SharesPreparation(other) reports that state prepared by other can
+// be passed verbatim to this measure's PreparedDistance. The grid tuning
+// engine (internal/search) uses it to prepare each series once for a whole
+// parameter sweep instead of once per candidate.
+type PreparationSharing interface {
+	Stateful
+	// SharesPreparation reports whether other's prepared (or grid-prepared)
+	// per-series state is valid for this measure.
+	SharesPreparation(other Measure) bool
+}
+
+// GridStateful extends preparation sharing to families whose full Prepare
+// state is candidate-dependent but built around an expensive
+// candidate-independent core (an FFT spectrum, a self cross-correlation, a
+// norm). GridPrepare computes the shared core once per series;
+// CandidateState cheaply specializes it into this candidate's Stateful
+// prepared state (the input of PreparedDistance). The contract is bitwise:
+// CandidateState(GridPrepare(x)) must yield PreparedDistance results
+// identical to Prepare(x), so the grid engine stays exact.
+type GridStateful interface {
+	Stateful
+	// SharesPreparation reports whether other's GridPrepare state is valid
+	// for this measure's CandidateState.
+	SharesPreparation(other Measure) bool
+	// GridPrepare computes candidate-independent per-series state shared by
+	// every candidate satisfying SharesPreparation.
+	GridPrepare(x []float64) any
+	// CandidateState specializes shared grid state into this candidate's
+	// prepared state, bitwise equivalent to Prepare on the same series.
+	CandidateState(shared any) any
+}
+
+// NestedBounds declares grid monotonicity: DominatedBy(other) reports that
+// Distance(x, y) <= other.Distance(x, y) for every finite input pair —
+// e.g. DTW under a wider Sakoe-Chiba band minimizes over a superset of
+// warping paths, so a narrower band's exact distances are valid upper
+// bounds for it. The grid tuning engine seeds best-so-far cutoffs for a
+// candidate from a dominating candidate's completed results (warm starts);
+// the declaration is advisory — the engine detects and repairs rows where
+// the claimed bound turns out unachievable (possible only on non-finite
+// inputs), so a too-optimistic declaration costs work, never exactness.
+type NestedBounds interface {
+	Measure
+	// DominatedBy reports Distance(x, y) <= other.Distance(x, y) for all
+	// finite x, y.
+	DominatedBy(other Measure) bool
+}
+
+// BoundSharing extends LowerBounded for grid sweeps: bound contexts
+// allocated for one candidate can be rebound — buffers reused, contents
+// refilled — to another candidate of the same family, so a parameter sweep
+// allocates envelopes once instead of once per candidate.
+type BoundSharing interface {
+	LowerBounded
+	// SharesBounds reports whether contexts created by other's
+	// NewBoundContext can be rebound to this measure.
+	SharesBounds(other Measure) bool
+	// RebindBoundContext adapts c (created by a SharesBounds candidate) to
+	// this measure and refills it for x, reusing c's buffers. It returns c.
+	RebindBoundContext(c BoundContext, x []float64) BoundContext
+}
+
 // Func adapts a plain function to the Measure interface.
 type Func struct {
 	name string

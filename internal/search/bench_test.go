@@ -132,6 +132,61 @@ func BenchmarkSupervisedDTWTuning(b *testing.B) {
 	})
 }
 
+// tunePerCandidate is TuneSupervised as it existed before the grid engine:
+// one independent pruned LeaveOneOut per candidate, no sharing across the
+// sweep. It is the reference point of BenchmarkGridTuning.
+func tunePerCandidate(g eval.Grid, train [][]float64, labels []int) (int, float64) {
+	bestIdx, bestAcc := 0, -1.0
+	for i, cand := range g.Candidates {
+		res := search.LeaveOneOut(cand, train)
+		acc := eval.AccuracyFromNeighbors(res.Indices, labels, labels)
+		if acc > bestAcc {
+			bestAcc, bestIdx = acc, i
+		}
+	}
+	return bestIdx, bestAcc
+}
+
+// BenchmarkGridTuning compares supervised grid tuning per candidate (the
+// previous TuneSupervised path) against the one-pass grid engine, on the
+// two grid families the engine's optimizations target: the DTW band grid
+// (warm-start pruning + envelope reuse) and the SINK gamma grid (shared
+// FFT preparation). Both paths select identical candidates; see
+// TestTuneSupervisedMatchesNaiveSelection.
+func BenchmarkGridTuning(b *testing.B) {
+	d := benchDataset()
+	sinkTrain := d.Train[:40]
+	sinkLabels := d.TrainLabels[:40]
+	b.Run("dtw/percandidate", func(b *testing.B) {
+		g := eval.DTWGrid()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tunePerCandidate(g, d.Train, d.TrainLabels)
+		}
+	})
+	b.Run("dtw/engine", func(b *testing.B) {
+		g := eval.DTWGrid()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eval.TuneSupervised(g, d.Train, d.TrainLabels)
+		}
+	})
+	b.Run("sink/percandidate", func(b *testing.B) {
+		g := eval.SINKGrid()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tunePerCandidate(g, sinkTrain, sinkLabels)
+		}
+	})
+	b.Run("sink/engine", func(b *testing.B) {
+		g := eval.SINKGrid()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eval.TuneSupervised(g, sinkTrain, sinkLabels)
+		}
+	})
+}
+
 // TestTuningPathsAgree pins the benchmark's claim: the baseline stack, the
 // exhaustive matrix path, and the pruned engine pick the same grid
 // candidate with the same leave-one-out accuracy.

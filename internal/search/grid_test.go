@@ -1,0 +1,241 @@
+package search_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/elastic"
+	"repro/internal/eval"
+	"repro/internal/measure"
+	"repro/internal/search"
+)
+
+// TestLeaveOneOutGridMatchesPerCandidate is the tuning-engine exactness
+// property test: for every grid of Table 4 (eval.Grids), across randomized
+// archives, the one-pass engine must report bit-identical neighbor indices
+// and distances — hence identical selected candidates, accuracies, and
+// tie-breaks — to the naive loop running search.LeaveOneOut per candidate.
+// Any sharing bug (a candidate state that drifts from Prepare, a warm-start
+// cutoff that prunes a true minimum, a wave scheduling order that breaks
+// tie-breaking) fails here.
+func TestLeaveOneOutGridMatchesPerCandidate(t *testing.T) {
+	archive := dataset.GenerateArchive(dataset.ArchiveOptions{
+		Seed: 11, Count: 3, MaxLength: 40, MaxTrain: 12, MaxTest: 4,
+	})
+	stride := 1
+	if testing.Short() {
+		stride = 4
+	}
+	for _, g := range eval.Grids() {
+		g = eval.Thin(g, stride)
+		for _, d := range archive {
+			gr := search.LeaveOneOutGrid(g.Candidates, d.Train)
+			if len(gr.PerCandidate) != len(g.Candidates) {
+				t.Fatalf("%s on %s: %d results for %d candidates",
+					g.Name, d.Name, len(gr.PerCandidate), len(g.Candidates))
+			}
+			for k, cand := range g.Candidates {
+				want := search.LeaveOneOut(cand, d.Train)
+				got := gr.PerCandidate[k]
+				for i := range want.Indices {
+					if got.Indices[i] != want.Indices[i] || got.Distances[i] != want.Distances[i] {
+						t.Fatalf("%s on %s: row %d got (%d, %v), want (%d, %v)",
+							cand.Name(), d.Name, i,
+							got.Indices[i], got.Distances[i],
+							want.Indices[i], want.Distances[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTuneSupervisedMatchesNaiveSelection checks the full selection path:
+// TuneSupervised on the engine must pick the same candidate with the same
+// accuracy as the naive per-candidate loop, for every grid family.
+func TestTuneSupervisedMatchesNaiveSelection(t *testing.T) {
+	archive := dataset.GenerateArchive(dataset.ArchiveOptions{
+		Seed: 7, Count: 2, MaxLength: 32, MaxTrain: 14, MaxTest: 4,
+	})
+	stride := 1
+	if testing.Short() {
+		stride = 3
+	}
+	for _, g := range eval.Grids() {
+		g = eval.Thin(g, stride)
+		for _, d := range archive {
+			gotM, gotAcc := eval.TuneSupervised(g, d.Train, d.TrainLabels)
+			wantIdx, wantAcc := 0, -1.0
+			for i, cand := range g.Candidates {
+				res := search.LeaveOneOut(cand, d.Train)
+				acc := eval.AccuracyFromNeighbors(res.Indices, d.TrainLabels, d.TrainLabels)
+				if acc > wantAcc {
+					wantAcc, wantIdx = acc, i
+				}
+			}
+			wantM := g.Candidates[wantIdx]
+			if gotM.Name() != wantM.Name() || gotAcc != wantAcc {
+				t.Fatalf("%s on %s: engine selected %s (%v), naive %s (%v)",
+					g.Name, d.Name, gotM.Name(), gotAcc, wantM.Name(), wantAcc)
+			}
+		}
+	}
+}
+
+// TestGridEngineDegenerateInputs drives the DTW band grid over series
+// containing NaN and Inf values, where DP band monotonicity — and with it
+// the warm-start domination declaration — can break. The engine must fall
+// back to its repair path and still match the per-candidate reference
+// exactly.
+func TestGridEngineDegenerateInputs(t *testing.T) {
+	train := [][]float64{
+		{1, 2, 3, 4, 5, 4, 3, 2},
+		{math.NaN(), 2, 3, 4, 5, 4, 3, 2},
+		{1, 2, math.Inf(1), 4, 5, 4, 3, 2},
+		{2, 3, 4, 5, 4, 3, 2, 1},
+		{math.Inf(-1), math.NaN(), 0, 0, 0, 0, 0, 0},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+	}
+	g := eval.DTWGrid()
+	gr := search.LeaveOneOutGrid(g.Candidates, train)
+	for k, cand := range g.Candidates {
+		want := search.LeaveOneOut(cand, train)
+		got := gr.PerCandidate[k]
+		for i := range want.Indices {
+			if got.Indices[i] != want.Indices[i] || got.Distances[i] != want.Distances[i] {
+				t.Fatalf("%s: row %d got (%d, %v), want (%d, %v)", cand.Name(), i,
+					got.Indices[i], got.Distances[i], want.Indices[i], want.Distances[i])
+			}
+		}
+	}
+}
+
+// TestGridStatsCounters checks that the three optimizations actually
+// engage on the grids built for them: SINK's gamma sweep shares FFT
+// preparation, and the DTW band grid schedules warm-started waves.
+func TestGridStatsCounters(t *testing.T) {
+	archive := dataset.GenerateArchive(dataset.ArchiveOptions{
+		Seed: 5, Count: 1, MaxLength: 48, MaxTrain: 16, MaxTest: 4,
+	})
+	train := archive[0].Train
+
+	sink := search.LeaveOneOutGrid(eval.SINKGrid().Candidates, train).Stats
+	if sink.PrepShared == 0 || sink.SharedPrepRate() < 0.9 {
+		t.Errorf("SINK sweep shared %d/%d preparations, want ~all",
+			sink.PrepShared, sink.PrepTotal)
+	}
+
+	dtw := search.LeaveOneOutGrid(eval.DTWGrid().Candidates, train).Stats
+	if dtw.Waves < 2 {
+		t.Errorf("DTW band grid ran in %d waves, want warm-start chain", dtw.Waves)
+	}
+	if dtw.WarmRows == 0 {
+		t.Errorf("DTW band grid primed no rows")
+	}
+	if dtw.WarmSearch.Pairs == 0 {
+		t.Errorf("DTW warm candidates recorded no pair work")
+	}
+	if dtw.Repaired != 0 {
+		t.Errorf("DTW on finite data repaired %d rows, want 0", dtw.Repaired)
+	}
+}
+
+// sharedPrepFake is a Stateful measure declaring PreparationSharing (the
+// verbatim fallback: no GridPrepare/CandidateState), used to exercise the
+// engine's generic family path. Scale only multiplies the final value, so
+// prepared state (the series itself) is parameter-independent.
+type sharedPrepFake struct {
+	Scale float64
+}
+
+func (f sharedPrepFake) Name() string { return "fake-shared-prep" }
+
+func (f sharedPrepFake) Distance(x, y []float64) float64 {
+	return f.PreparedDistance(f.Prepare(x), f.Prepare(y))
+}
+
+func (f sharedPrepFake) Prepare(x []float64) any { return x }
+
+func (f sharedPrepFake) PreparedDistance(px, py any) float64 {
+	x, y := px.([]float64), py.([]float64)
+	var s float64
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return f.Scale * s
+}
+
+func (f sharedPrepFake) SharesPreparation(other measure.Measure) bool {
+	_, ok := other.(sharedPrepFake)
+	return ok
+}
+
+// TestPreparationSharingFallback drives a grid of PreparationSharing (but
+// not GridStateful) candidates through the engine: the shared Prepare
+// results must be reused verbatim, with results identical to per-candidate
+// evaluation.
+func TestPreparationSharingFallback(t *testing.T) {
+	archive := dataset.GenerateArchive(dataset.ArchiveOptions{
+		Seed: 9, Count: 1, MaxLength: 32, MaxTrain: 12, MaxTest: 4,
+	})
+	train := archive[0].Train
+	cands := []measure.Measure{
+		sharedPrepFake{Scale: 1},
+		sharedPrepFake{Scale: 2},
+		sharedPrepFake{Scale: 0.5},
+	}
+	gr := search.LeaveOneOutGrid(cands, train)
+	if gr.Stats.PrepShared != int64(2*len(train)) {
+		t.Errorf("shared %d preparations, want %d", gr.Stats.PrepShared, 2*len(train))
+	}
+	for k, cand := range cands {
+		want := search.LeaveOneOut(cand, train)
+		got := gr.PerCandidate[k]
+		for i := range want.Indices {
+			if got.Indices[i] != want.Indices[i] || got.Distances[i] != want.Distances[i] {
+				t.Fatalf("scale %v: row %d got (%d, %v), want (%d, %v)",
+					cand.(sharedPrepFake).Scale, i,
+					got.Indices[i], got.Distances[i], want.Indices[i], want.Distances[i])
+			}
+		}
+	}
+}
+
+// TestNestingDeclarations spot-checks the DominatedBy declarations against
+// brute-force distance comparisons on random series: a dominating
+// candidate's distance must never be below the dominated one's.
+func TestNestingDeclarations(t *testing.T) {
+	archive := dataset.GenerateArchive(dataset.ArchiveOptions{
+		Seed: 13, Count: 1, MaxLength: 40, MaxTrain: 8, MaxTest: 2,
+	})
+	train := archive[0].Train
+	type pair struct{ narrow, wide measure.Measure }
+	pairs := []pair{
+		{elastic.DTW{DeltaPercent: 5}, elastic.DTW{DeltaPercent: 10}},
+		{elastic.DTW{DeltaPercent: 0}, elastic.DTW{DeltaPercent: 100}},
+		{elastic.LCSS{DeltaPercent: 5, Epsilon: 0.1}, elastic.LCSS{DeltaPercent: 10, Epsilon: 0.3}},
+		{elastic.EDR{Epsilon: 0.05}, elastic.EDR{Epsilon: 0.5}},
+	}
+	for _, p := range pairs {
+		nb, ok := p.wide.(measure.NestedBounds)
+		if !ok || !nb.DominatedBy(p.narrow) {
+			t.Fatalf("%s should be dominated by %s", p.wide.Name(), p.narrow.Name())
+		}
+		if nbn, ok := p.narrow.(measure.NestedBounds); ok && nbn.DominatedBy(p.wide) &&
+			p.narrow.Name() != p.wide.Name() {
+			t.Fatalf("%s must not claim domination by wider %s", p.narrow.Name(), p.wide.Name())
+		}
+		for i := range train {
+			for j := i + 1; j < len(train); j++ {
+				dn := p.narrow.Distance(train[i], train[j])
+				dw := p.wide.Distance(train[i], train[j])
+				if dw > dn {
+					t.Fatalf("%s(%d,%d)=%v exceeds %s=%v: nesting violated",
+						p.wide.Name(), i, j, dw, p.narrow.Name(), dn)
+				}
+			}
+		}
+	}
+}

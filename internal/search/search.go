@@ -27,12 +27,14 @@ import (
 type Stats struct {
 	Pairs    int64 // candidate pairs examined
 	LBPruned int64 // pairs rejected by the lower-bound cascade alone
+	PairLB   int64 // pairs rejected by a grid sweep's exact pair-matrix bound
 	FullDist int64 // full distance computations started (incl. abandoned)
 }
 
 func (s *Stats) add(o Stats) {
 	s.Pairs += o.Pairs
 	s.LBPruned += o.LBPruned
+	s.PairLB += o.PairLB
 	s.FullDist += o.FullDist
 }
 
@@ -219,12 +221,20 @@ func searchAll(ix *Index, queries [][]float64, skipDiag bool) Result {
 // symmetric measures take the halved path evaluating each unordered pair
 // once; results are identical to exhaustive evaluation either way.
 func LeaveOneOut(m measure.Measure, train [][]float64) Result {
-	_, stateful := m.(measure.Stateful)
-	_, bounded := m.(measure.LowerBounded)
-	if measure.IsSymmetric(m) && (bounded || !stateful) {
+	if halvedEligible(m) {
 		return looHalved(m, train)
 	}
 	return searchAll(NewIndex(m, train), train, true)
+}
+
+// halvedEligible reports whether leave-one-out evaluation of m takes the
+// symmetric pair-halving path: exactly symmetric, and either lower-bounded
+// (the cascade needs per-pair cutoffs) or not stateful (whose prepared fast
+// path the full scan exploits better than halving would).
+func halvedEligible(m measure.Measure) bool {
+	_, stateful := m.(measure.Stateful)
+	_, bounded := m.(measure.LowerBounded)
+	return measure.IsSymmetric(m) && (bounded || !stateful)
 }
 
 // looHalved evaluates each unordered training pair once. Every worker
