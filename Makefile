@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race oracle oracle-long bench golden check
+.PHONY: build test vet race check-race oracle oracle-long bench golden check
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,11 @@ vet:
 # pruned search engine, and the evaluation layer driving them.
 race:
 	$(GO) test -race ./internal/par ./internal/eval ./internal/search
+
+# Race-check the spectral engine's tiled dispatch: the parallel Gram
+# fill/mirroring in internal/kernel and the parallel embedding fits.
+check-race:
+	$(GO) test -race ./internal/par ./internal/search ./internal/kernel ./internal/embedding
 
 # Differential oracle harness under the race detector: every measure
 # against its reference implementation plus both search engines against
@@ -32,6 +37,7 @@ oracle-long:
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem ./...
 	$(GO) test -bench BenchmarkGridTuning -benchmem ./internal/search | $(GO) run ./cmd/benchjson -o BENCH_tuning.json
+	$(GO) test -bench 'BenchmarkGram|BenchmarkEigenSym' -benchmem ./internal/kernel ./internal/linalg | $(GO) run ./cmd/benchjson -o BENCH_spectral.json
 
 # Regenerate the golden experiment outputs after an intentional change to
 # a measure, engine, or renderer; commit the resulting diff.
@@ -39,4 +45,4 @@ golden:
 	$(GO) test ./cmd/tsbench -run TestGoldenExperimentOutputs -update-golden
 
 # CI entry point: everything that must be green before merging.
-check: build vet test race oracle
+check: build vet test race check-race oracle

@@ -7,8 +7,8 @@
 //
 // Experiments: table2 table3 table4 table5 table6 table7 figure1 figure2
 // figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10 pruning
-// tuning, or "all". With no arguments, a summary of available experiments
-// is printed.
+// tuning spectral, or "all". With no arguments, a summary of available
+// experiments is printed.
 //
 // Flags:
 //
@@ -37,7 +37,7 @@ var experimentOrder = []string{
 	"table2", "figure2", "figure3", "table3", "figure4", "table4",
 	"table5", "figure5", "figure6", "table6", "figure7", "figure8",
 	"table7", "figure9", "figure10", "figure1", "svm", "pruning",
-	"tuning",
+	"tuning", "spectral",
 }
 
 func main() {
@@ -182,6 +182,9 @@ func run(name string, opts experiments.Options) (string, any, error) {
 	case "tuning":
 		rows := experiments.TuningAblation(opts)
 		return experiments.RenderTuning(rows), rows, nil
+	case "spectral":
+		rows := experiments.SpectralRuntime(opts)
+		return experiments.RenderSpectral(rows), rows, nil
 	default:
 		return "", nil, fmt.Errorf("unknown experiment %q", name)
 	}

@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/kshape"
 	"repro/internal/linalg"
 	"repro/internal/measure"
+	"repro/internal/par"
 )
 
 // DefaultDim is the representation length used throughout the paper's
@@ -163,26 +165,21 @@ func (g *GRAIL) Fit(train [][]float64) {
 		landmarks = sampleLandmarks(train, g.dim(), g.Seed)
 	}
 	d := len(landmarks)
-	g.landmarks = make([]any, d)
-	for i, l := range landmarks {
-		g.landmarks[i] = g.sink.Prepare(l)
-	}
-	// Landmark Gram matrix of the normalized SINK kernel.
-	w := linalg.NewMatrix(d, d)
-	for i := 0; i < d; i++ {
-		w.Set(i, i, 1)
-		for j := i + 1; j < d; j++ {
-			k := 1 - g.sink.PreparedDistance(g.landmarks[i], g.landmarks[j])
-			w.Set(i, j, k)
-			w.Set(j, i, k)
-		}
-	}
+	// Landmark Gram matrix of the normalized SINK kernel, built by the
+	// batched engine: one FFT spectrum per landmark, parallel tiled fill,
+	// values bitwise identical to the per-pair prepared loop it replaces.
+	// The engine's prepared states also serve Transform's projections.
+	eng := kernel.NewGramEngine(g.sink, landmarks)
+	g.landmarks = eng.PreparedStates()
+	w := eng.Gram()
 	vals, vecs := linalg.EigenSym(w)
-	// Basis columns U_j / sqrt(lambda_j) for the positive spectrum.
+	// Basis columns U_j / sqrt(lambda_j) for the positive spectrum. The
+	// negated guard keeps NaN eigenvalues (degenerate landmark input) in
+	// the dropped null space instead of leaking NaN into every projection.
 	basis := linalg.NewMatrix(d, d)
 	for j := 0; j < d; j++ {
-		if vals[j] <= 1e-10 {
-			continue // drop the null space
+		if !(vals[j] > 1e-10) {
+			continue // drop the null space (and a NaN spectrum)
 		}
 		inv := 1 / math.Sqrt(vals[j])
 		for r := 0; r < d; r++ {
@@ -274,24 +271,57 @@ func (r *RWS) Transform(x []float64) []float64 {
 	}
 	out := make([]float64, len(r.series))
 	scale := 1 / math.Sqrt(float64(len(r.series)))
+	sc := dtwPool.Get().(*dtwScratch)
 	for i, w := range r.series {
-		d := dtwUnconstrained(x, w)
+		d := dtwUnconstrainedTo(x, w, sc)
 		out[i] = scale * math.Exp(-d/float64(len(x)))
 	}
+	dtwPool.Put(sc)
 	return out
 }
+
+// dtwScratch holds the two DP rows of the unconstrained DTW recursion so
+// the ~Dim alignments of one Transform call (and the Dim^2/2 of one Fit)
+// reuse a single pair of buffers instead of allocating per alignment.
+type dtwScratch struct {
+	prev, cur []float64
+}
+
+// row returns the scratch rows sized for n+1 columns, growing them only
+// when a longer series than any before arrives.
+func (s *dtwScratch) rows(n int) ([]float64, []float64) {
+	if cap(s.prev) < n+1 {
+		s.prev = make([]float64, n+1)
+		s.cur = make([]float64, n+1)
+	}
+	return s.prev[:n+1], s.cur[:n+1]
+}
+
+// dtwPool shares scratch across the concurrent Transform calls of the
+// evaluation layer's per-series preparation; scratch is never held across
+// a Get/Put window, so pool reuse cannot alias live buffers.
+var dtwPool = sync.Pool{New: func() any { return new(dtwScratch) }}
 
 // dtwUnconstrained is a banded-free DTW over series of different lengths
 // with squared point costs, used to align against short random series and
 // landmark prototypes.
 func dtwUnconstrained(x, y []float64) float64 {
+	sc := dtwPool.Get().(*dtwScratch)
+	d := dtwUnconstrainedTo(x, y, sc)
+	dtwPool.Put(sc)
+	return d
+}
+
+// dtwUnconstrainedTo is dtwUnconstrained on caller-provided scratch. The
+// recursion is unchanged — identical operations in identical order — so
+// pooling the rows does not move a single bit of the result.
+func dtwUnconstrainedTo(x, y []float64, sc *dtwScratch) float64 {
 	m, n := len(x), len(y)
 	if m == 0 || n == 0 {
 		return 0
 	}
 	inf := math.Inf(1)
-	prev := make([]float64, n+1)
-	cur := make([]float64, n+1)
+	prev, cur := sc.rows(n)
 	for j := range prev {
 		prev[j] = inf
 	}
@@ -347,15 +377,26 @@ func (s *SPIRAL) Fit(train [][]float64) {
 	}
 	s.landmarks = sampleLandmarks(train, dim, s.Seed)
 	d := len(s.landmarks)
-	// Squared DTW distances between landmarks.
+	// Squared DTW distances between landmarks: the upper-triangle pairs
+	// are independent, so they are dispatched in parallel with one DTW
+	// scratch per worker; each pair's recursion is untouched, so the
+	// matrix is bitwise the one the serial double loop produced.
 	sq := linalg.NewMatrix(d, d)
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, d*(d-1)/2)
 	for i := 0; i < d; i++ {
 		for j := i + 1; j < d; j++ {
-			v := dtwUnconstrained(s.landmarks[i], s.landmarks[j])
-			sq.Set(i, j, v)
-			sq.Set(j, i, v)
+			pairs = append(pairs, pair{i, j})
 		}
 	}
+	workers := par.Workers(len(pairs))
+	scratch := make([]dtwScratch, workers)
+	par.ForShard(len(pairs), workers, func(worker, t int) {
+		p := pairs[t]
+		v := dtwUnconstrainedTo(s.landmarks[p.i], s.landmarks[p.j], &scratch[worker])
+		sq.Set(p.i, p.j, v)
+		sq.Set(p.j, p.i, v)
+	})
 	// Double centering: B = -1/2 (sq - rowMean - colMean + totalMean).
 	s.colMean = make([]float64, d)
 	var total float64
@@ -377,9 +418,11 @@ func (s *SPIRAL) Fit(train [][]float64) {
 	}
 	vals, vecs := linalg.EigenSym(b)
 	// Out-of-sample projection: z = -1/2 * Lambda^{-1/2} U^T (delta - mu).
+	// The negated guard drops a NaN spectrum (degenerate landmarks) along
+	// with the null space instead of leaking NaN scale factors.
 	proj := linalg.NewMatrix(d, d)
 	for j := 0; j < d; j++ {
-		if vals[j] <= 1e-10 {
+		if !(vals[j] > 1e-10) {
 			continue
 		}
 		inv := 1 / math.Sqrt(vals[j])
@@ -398,9 +441,11 @@ func (s *SPIRAL) Transform(x []float64) []float64 {
 	}
 	d := len(s.landmarks)
 	delta := make([]float64, d)
+	sc := dtwPool.Get().(*dtwScratch)
 	for i, l := range s.landmarks {
-		delta[i] = dtwUnconstrained(x, l) - s.colMean[i]
+		delta[i] = dtwUnconstrainedTo(x, l, sc) - s.colMean[i]
 	}
+	dtwPool.Put(sc)
 	z := make([]float64, s.proj.Cols)
 	for r, dv := range delta {
 		if dv == 0 {

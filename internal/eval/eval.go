@@ -41,6 +41,23 @@ func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 	}
 	workers := par.Workers(n)
 
+	// Bulk fast path: a measure backed by an all-pairs engine fills the
+	// square self-matrix wholesale (bitwise-identical to the per-pair loop
+	// by the SelfMatrixer contract); only the NaN sanitization pass remains
+	// on this side. Checked before the Stateful dispatch so per-series
+	// preparation is not duplicated.
+	if bm, ok := m.(measure.SelfMatrixer); ok && sameSeries(queries, refs) {
+		if bm.SelfMatrix(queries, e) {
+			parallelRows(n, workers, func(i int) {
+				row := e[i]
+				for j, v := range row {
+					row[j] = measure.Sanitize(v)
+				}
+			})
+			return e
+		}
+	}
+
 	// Resolve the per-cell kernel once, outside the row loops: the Stateful
 	// fast path binds prepared states, and the plain path binds the Distance
 	// method value so neither the type switch nor the interface lookup runs

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/elastic"
+	"repro/internal/kernel"
 	"repro/internal/lockstep"
 	"repro/internal/measure"
 	"repro/internal/norm"
@@ -362,5 +363,45 @@ func TestSameSeries(t *testing.T) {
 	}
 	if sameSeries(a, a[:1]) {
 		t.Fatal("different lengths are not the same")
+	}
+}
+
+func TestMatrixSelfMatrixerBulkPathMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	series := make([][]float64, 23)
+	for i := range series {
+		s := make([]float64, 31)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+		}
+		series[i] = s
+	}
+	// Degenerate rows exercise the sanitize pass after the bulk fill.
+	series[0] = make([]float64, 31)
+	series[1][5] = math.NaN()
+	series[2][0] = math.Inf(1)
+	s := kernel.SINK{Gamma: 5}
+	// The Func wrapper hides SelfMatrixer, forcing the generic per-pair
+	// path; the direct call takes the GramEngine bulk path. The two must
+	// agree bitwise (after shared NaN sanitization).
+	generic := Matrix(measure.New("sink-opaque", s.Distance), series, series)
+	bulk := Matrix(s, series, series)
+	for i := range series {
+		for j := range series {
+			if bulk[i][j] != generic[i][j] {
+				t.Fatalf("bulk[%d][%d] = %g, generic = %g", i, j, bulk[i][j], generic[i][j])
+			}
+		}
+	}
+	// A rectangular (test-by-train) call must not take the bulk path and
+	// still match the generic result.
+	queries := series[:7]
+	rect := Matrix(s, queries, series)
+	for i := range queries {
+		for j := range series {
+			if rect[i][j] != generic[i][j] {
+				t.Fatalf("rect[%d][%d] = %g, generic = %g", i, j, rect[i][j], generic[i][j])
+			}
+		}
 	}
 }

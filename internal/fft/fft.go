@@ -268,6 +268,10 @@ func NewPlan(x []float64) *Plan {
 // Len returns the series length the plan was built for.
 func (p *Plan) Len() int { return p.n }
 
+// PaddedLen returns the padded FFT length of the plan's spectrum (0 for the
+// empty plan). Callers sizing scratch buffers for CrossCorrelateTo use it.
+func (p *Plan) PaddedLen() int { return p.m }
+
 // CrossCorrelate computes the full cross-correlation sequence of the planned
 // series x against y (len(y) must equal the plan length), equivalent to
 // CrossCorrelation(x, y).
@@ -305,19 +309,34 @@ func (p *Plan) CrossCorrelateWith(q *Plan) []float64 {
 	if p.n == 0 {
 		return nil
 	}
-	buf := make([]complex128, p.m)
+	return p.CrossCorrelateTo(q, make([]float64, 2*p.n-1), make([]complex128, p.m))
+}
+
+// CrossCorrelateTo is CrossCorrelateWith writing the cross-correlation
+// sequence into dst (len >= 2n-1) using buf (len >= PaddedLen) as FFT
+// scratch, so all-pairs callers like the Gram engine run allocation-free.
+// The arithmetic — pointwise spectrum product, inverse transform, shift
+// unwrap — is step-for-step the one CrossCorrelateWith performs, so the two
+// entry points return bitwise-identical sequences. It returns dst[:2n-1].
+func (p *Plan) CrossCorrelateTo(q *Plan, dst []float64, buf []complex128) []float64 {
+	if q.n != p.n {
+		panic(fmt.Sprintf("fft: plan lengths differ: %d vs %d", p.n, q.n))
+	}
+	if p.n == 0 {
+		return dst[:0]
+	}
+	buf = buf[:p.m]
 	for i := range buf {
 		buf[i] = p.freq[i] * cmplx.Conj(q.freq[i])
 	}
 	Inverse(buf)
-	n := 2*p.n - 1
-	out := make([]float64, n)
+	dst = dst[:2*p.n-1]
 	for s := -(p.n - 1); s < p.n; s++ {
 		idx := s
 		if idx < 0 {
 			idx += p.m
 		}
-		out[s+p.n-1] = real(buf[idx])
+		dst[s+p.n-1] = real(buf[idx])
 	}
-	return out
+	return dst
 }

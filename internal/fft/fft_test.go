@@ -298,3 +298,47 @@ func BenchmarkForwardBluestein(b *testing.B) {
 		Forward(buf)
 	}
 }
+
+func TestCrossCorrelateToBitwiseAndAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 2, 17, 64, 100} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		p, q := NewPlan(x), NewPlan(y)
+		want := p.CrossCorrelateWith(q)
+		if p.PaddedLen() != NextPowerOfTwo(2*n-1) {
+			t.Fatalf("n=%d: PaddedLen = %d, want %d", n, p.PaddedLen(), NextPowerOfTwo(2*n-1))
+		}
+		dst := make([]float64, 2*n-1)
+		buf := make([]complex128, p.PaddedLen())
+		got := p.CrossCorrelateTo(q, dst, buf)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d, want %d", n, len(got), len(want))
+		}
+		for k := range want {
+			// Bitwise equality: both entry points run the identical
+			// arithmetic, the contract the Gram engine relies on.
+			if got[k] != want[k] {
+				t.Fatalf("n=%d: CrossCorrelateTo[%d] = %v, want bitwise %v", n, k, got[k], want[k])
+			}
+		}
+		if allocs := testing.AllocsPerRun(20, func() { p.CrossCorrelateTo(q, dst, buf) }); allocs != 0 {
+			t.Errorf("n=%d: CrossCorrelateTo allocates %v per run", n, allocs)
+		}
+	}
+}
+
+func TestCrossCorrelateToEmptyPlan(t *testing.T) {
+	p, q := NewPlan(nil), NewPlan(nil)
+	if p.PaddedLen() != 0 {
+		t.Fatalf("empty plan PaddedLen = %d", p.PaddedLen())
+	}
+	got := p.CrossCorrelateTo(q, make([]float64, 1), nil)
+	if len(got) != 0 {
+		t.Fatalf("empty-plan cross-correlation length %d, want 0", len(got))
+	}
+}

@@ -154,6 +154,25 @@ func (s SINK) Distance(x, y []float64) float64 {
 	return s.PreparedDistance(s.Prepare(x), s.Prepare(y))
 }
 
+// SelfMatrix implements measure.SelfMatrixer: square self-dissimilarity
+// matrices are filled by the batched GramEngine — one spectrum per series,
+// one inverse FFT per pair, tiled parallel fill — with values bitwise
+// identical to the per-pair prepared path. Ragged input declines the fast
+// path so the caller's pairwise loop reproduces the usual length panic.
+func (s SINK) SelfMatrix(series [][]float64, rows [][]float64) bool {
+	if len(series) == 0 {
+		return false
+	}
+	m := len(series[0])
+	for _, x := range series {
+		if len(x) != m {
+			return false
+		}
+	}
+	NewGramEngine(s, series).FillDistances(rows)
+	return true
+}
+
 //
 // ---- GAK ----
 //

@@ -7,25 +7,59 @@ import (
 )
 
 // EigenSym computes the full eigendecomposition of the symmetric matrix a
-// using the cyclic Jacobi method. It returns the eigenvalues in descending
-// order and a matrix whose COLUMNS are the corresponding orthonormal
-// eigenvectors, so that a == V * diag(values) * V^T.
+// by Householder tridiagonalization followed by the implicit-shift QL
+// iteration (the classic tred2/tql2 pair of EISPACK). It returns the
+// eigenvalues in descending order and a matrix whose COLUMNS are the
+// corresponding orthonormal eigenvectors, so that a == V * diag(values) * V^T.
 //
-// The input is not modified. EigenSym panics if a is not square; symmetry is
-// assumed (only the upper triangle drives the rotations, applied
-// symmetrically). The Jacobi method is O(n^3) per sweep and converges in a
-// handful of sweeps for the moderate sizes (<= a few hundred) used by the
-// embedding measures.
+// The input is not modified. EigenSym panics if a is not square; symmetry
+// is assumed. The tridiagonal route costs a fixed ~(7/3)n^3 flops where
+// the cyclic Jacobi method (kept as EigenSymJacobi, the differential
+// oracle) pays ~3n^3 per sweep over many sweeps, so it is the solver every
+// embedding fit runs on.
+//
+// Non-finite entries (NaN/Inf) can never converge under either rotation
+// scheme — the off-diagonal mass a sweep tries to annihilate stays NaN —
+// so they are rejected up front: the result is the defined degenerate
+// decomposition of all-NaN eigenvalues with the identity basis, consistent
+// with the library's degenerate-input policy (DESIGN.md §10).
 func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("linalg: EigenSym on non-square %dx%d matrix", a.Rows, a.Cols))
 	}
 	n := a.Rows
+	if n == 0 {
+		return nil, Identity(0)
+	}
+	if !allFinite(a.Data) {
+		return nonFiniteEigen(n)
+	}
+	v := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e)
+	tql2(v, d, e)
+	return sortEigenDesc(d, v)
+}
+
+// EigenSymJacobi is the cyclic Jacobi eigensolver with the same contract as
+// EigenSym (descending eigenvalues, eigenvectors in columns, non-finite
+// inputs mapped to the all-NaN/identity degenerate result). It converges in
+// a handful of O(n^3) sweeps and serves as the independent cross-check
+// oracle for the QL path (`make oracle`); production code calls EigenSym.
+func EigenSymJacobi(a *Matrix) (values []float64, vectors *Matrix) {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("linalg: EigenSymJacobi on non-square %dx%d matrix", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	if n == 0 {
+		return nil, Identity(0)
+	}
+	if !allFinite(a.Data) {
+		return nonFiniteEigen(n)
+	}
 	w := a.Clone()
 	v := Identity(n)
-	if n == 0 {
-		return nil, v
-	}
 
 	const maxSweeps = 100
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -83,7 +117,36 @@ func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 	for i := range values {
 		values[i] = w.At(i, i)
 	}
-	// Sort eigenpairs by descending eigenvalue.
+	return sortEigenDesc(values, v)
+}
+
+// allFinite reports whether every entry is finite (no NaN, no Inf).
+func allFinite(xs []float64) bool {
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// nonFiniteEigen is the degenerate decomposition returned for non-finite
+// input: every eigenvalue NaN, the identity as the (trivially orthonormal)
+// basis. Downstream spectrum filters of the form `vals[j] > threshold`
+// reject NaN, so degenerate fits fall through to empty projections instead
+// of propagating garbage rotations.
+func nonFiniteEigen(n int) ([]float64, *Matrix) {
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = math.NaN()
+	}
+	return values, Identity(n)
+}
+
+// sortEigenDesc reorders the eigenpairs (values[i], column i of v) by
+// descending eigenvalue into freshly allocated results.
+func sortEigenDesc(values []float64, v *Matrix) ([]float64, *Matrix) {
+	n := len(values)
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
@@ -98,6 +161,198 @@ func EigenSym(a *Matrix) (values []float64, vectors *Matrix) {
 		}
 	}
 	return sorted, vec
+}
+
+// tred2 reduces the symmetric matrix held in v to tridiagonal form by
+// Householder similarity transformations, accumulating the transformations
+// in v. On return d holds the diagonal, e the subdiagonal (e[0] unused).
+// This is the EISPACK tred2 routine (via the public-domain JAMA
+// translation) adapted to the row-major Matrix layout.
+func tred2(v *Matrix, d, e []float64) {
+	n := v.Rows
+	vd := v.Data
+
+	for j := 0; j < n; j++ {
+		d[j] = vd[(n-1)*n+j]
+	}
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow in the norm of the column slice.
+		scale, h := 0.0, 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = vd[(i-1)*n+j]
+				vd[i*n+j] = 0
+				vd[j*n+i] = 0
+			}
+		} else {
+			// Generate the Householder vector.
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			// Apply the similarity transformation to the remaining columns.
+			for j := 0; j < i; j++ {
+				f = d[j]
+				vd[j*n+i] = f
+				g = e[j] + vd[j*n+j]*f
+				for k := j + 1; k <= i-1; k++ {
+					g += vd[k*n+j] * d[k]
+					e[k] += vd[k*n+j] * f
+				}
+				e[j] = g
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			for j := 0; j < i; j++ {
+				f = d[j]
+				g = e[j]
+				for k := j; k <= i-1; k++ {
+					vd[k*n+j] -= f*e[k] + g*d[k]
+				}
+				d[j] = vd[(i-1)*n+j]
+				vd[i*n+j] = 0
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate the transformations.
+	for i := 0; i < n-1; i++ {
+		vd[(n-1)*n+i] = vd[i*n+i]
+		vd[i*n+i] = 1
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = vd[k*n+i+1] / h
+			}
+			for j := 0; j <= i; j++ {
+				g := 0.0
+				for k := 0; k <= i; k++ {
+					g += vd[k*n+i+1] * vd[k*n+j]
+				}
+				for k := 0; k <= i; k++ {
+					vd[k*n+j] -= g * d[k]
+				}
+			}
+		}
+		for k := 0; k <= i; k++ {
+			vd[k*n+i+1] = 0
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = vd[(n-1)*n+j]
+		vd[(n-1)*n+j] = 0
+	}
+	vd[(n-1)*n+n-1] = 1
+	e[0] = 0
+}
+
+// maxQLIterations bounds the implicit-shift iterations per eigenvalue; the
+// Wilkinson shift converges cubically (2-3 iterations in practice), so the
+// cap only guards against a stalled pathological spectrum.
+const maxQLIterations = 64
+
+// tql2 diagonalizes the symmetric tridiagonal matrix (d, e) produced by
+// tred2 with the implicit-shift QL algorithm, updating the accumulated
+// transformations in v so its columns become the eigenvectors of the
+// original matrix. Eigenvalues are left unordered in d; sortEigenDesc
+// orders them. This is the EISPACK tql2 routine (JAMA translation).
+func tql2(v *Matrix, d, e []float64) {
+	n := v.Rows
+	vd := v.Data
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f, tst1 := 0.0, 0.0
+	eps := math.Pow(2, -52)
+	for l := 0; l < n; l++ {
+		// Find the first small subdiagonal element; e[n-1] == 0 guarantees
+		// the scan terminates before running off the end.
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				// Wilkinson's implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+
+				// Implicit QL sweep from m back to l.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Rotate the accumulated eigenvector columns i and i+1.
+					for k := 0; k < n; k++ {
+						row := vd[k*n:]
+						h = row[i+1]
+						row[i+1] = s*row[i] + c*h
+						row[i] = c*row[i] - s*h
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 || iter >= maxQLIterations {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
 }
 
 // Identity returns the n-by-n identity matrix.

@@ -96,6 +96,22 @@ type LowerBounded interface {
 	LowerBound(x, y []float64, cx, cy BoundContext, cutoff float64) float64
 }
 
+// SelfMatrixer is an optional bulk fast path: measures backed by an
+// all-pairs engine (batched spectra, pooled scratch, tiled parallel fill)
+// implement it, and the evaluation layer hands the whole square
+// self-dissimilarity matrix to the engine instead of looping over pairs.
+// The contract is bitwise: rows[i][j] must hold exactly the value the
+// per-pair path (PreparedDistance over Prepare states, or Distance) would
+// produce, before NaN sanitization — the caller sanitizes. A false return
+// means the engine declined (e.g. ragged input) and the caller must fall
+// back; rows content is then unspecified and will be overwritten.
+type SelfMatrixer interface {
+	Measure
+	// SelfMatrix fills rows (len(series) square) with all raw pairwise
+	// distances over series, returning false to decline.
+	SelfMatrix(series [][]float64, rows [][]float64) bool
+}
+
 // PreparationSharing is an optional declaration for Stateful measures whose
 // Prepare output does not depend on the measure's parameters within a
 // family: SharesPreparation(other) reports that state prepared by other can
