@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check-race oracle oracle-long bench golden check
+.PHONY: build test vet race check-race oracle oracle-long bench golden smoke check
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,12 @@ bench:
 # a measure, engine, or renderer; commit the resulting diff.
 golden:
 	$(GO) test ./cmd/tsbench -run TestGoldenExperimentOutputs -update-golden
+
+# End-to-end cancellation smoke test: build the real tsbench binary, run
+# `-timeout 2s all`, and assert the graceful-shutdown contract (exit code
+# 3, structural stderr report, only fully-completed tables on stdout).
+smoke:
+	$(GO) test ./cmd/tsbench -run TestSmokeCancellation -smoke -v
 
 # CI entry point: everything that must be green before merging.
 check: build vet test race check-race oracle

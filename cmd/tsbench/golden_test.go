@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,6 +14,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/run"
 )
 
 // -update-golden regenerates testdata/golden/*.golden from the current
@@ -85,24 +87,24 @@ func scrub(name, out string) string {
 	return strings.Join(lines, "\n")
 }
 
-// TestGoldenExperimentOutputs runs every tsbench experiment through the
-// same dispatcher main uses, on a fixed-seed archive, and compares the
-// scrubbed rendering against the committed golden file. Any unintentional
-// change to a measure, an engine, or a renderer shows up as a readable
-// text diff; intentional changes are recorded with -update-golden.
+// TestGoldenExperimentOutputs runs every registered tsbench experiment
+// through the same dispatcher main uses, on a fixed-seed archive, and
+// compares the scrubbed rendering against the committed golden file. Any
+// unintentional change to a measure, an engine, or a renderer shows up as a
+// readable text diff; intentional changes are recorded with -update-golden.
 func TestGoldenExperimentOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden experiment sweep is slow in short mode")
 	}
 	opts := goldenOpts()
-	for _, name := range experimentOrder {
+	for _, name := range run.Default.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
-			out, _, err := run(name, opts)
+			res, err := runExperiment(context.Background(), name, opts, nil)
 			if err != nil {
-				t.Fatalf("run(%s): %v", name, err)
+				t.Fatalf("runExperiment(%s): %v", name, err)
 			}
-			got := scrub(name, out)
+			got := scrub(name, res.Text)
 			path := filepath.Join("testdata", "golden", name+".golden")
 			if *updateGolden {
 				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {

@@ -5,10 +5,10 @@
 //
 //	tsbench [flags] [experiment ...]
 //
-// Experiments: table2 table3 table4 table5 table6 table7 figure1 figure2
-// figure3 figure4 figure5 figure6 figure7 figure8 figure9 figure10 pruning
-// tuning spectral, or "all". With no arguments, a summary of available
-// experiments is printed.
+// Experiments are drawn from the run-core registry (internal/run), which
+// every driver in internal/experiments self-registers into; run tsbench
+// with no arguments to print the current list, or pass "all" to run every
+// experiment in canonical order.
 //
 // Flags:
 //
@@ -19,26 +19,32 @@
 //	-pruned        run 1-NN inference through the pruned search engine
 //	-archive DIR   load real UCR datasets from DIR instead of synthesizing
 //	-datasets CSV  comma-separated dataset names under -archive
+//	-json FILE     also write structured results as JSON to FILE
+//	-timeout D     cancel the run after duration D (e.g. 90s, 10m)
+//	-progress      print per-experiment progress events to stderr
+//
+// A run interrupted by SIGINT or -timeout stops cooperatively: the engines
+// observe cancellation at dispatch-chunk granularity, tsbench prints every
+// experiment that fully completed (and writes them to -json), reports the
+// cancellation on stderr, and exits with status 3. Exit status is 0 on
+// success, 1 on experiment or I/O errors, 2 on usage errors.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/run"
 )
-
-var experimentOrder = []string{
-	"table2", "figure2", "figure3", "table3", "figure4", "table4",
-	"table5", "figure5", "figure6", "table6", "figure7", "figure8",
-	"table7", "figure9", "figure10", "figure1", "svm", "pruning",
-	"tuning", "spectral",
-}
 
 func main() {
 	full := flag.Bool("full", false, "use the full 128-dataset archive configuration")
@@ -49,6 +55,8 @@ func main() {
 	archiveDir := flag.String("archive", "", "directory with real UCR datasets")
 	datasets := flag.String("datasets", "", "comma-separated dataset names under -archive")
 	jsonPath := flag.String("json", "", "also write structured results as JSON to this file")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+	progress := flag.Bool("progress", false, "print progress events to stderr")
 	flag.Parse()
 
 	opts := experiments.Options{GridStride: *stride, Pruned: *pruned}
@@ -79,35 +87,53 @@ func main() {
 	if len(args) == 0 {
 		fmt.Println("tsbench: regenerates the paper's tables and figures.")
 		fmt.Println("Available experiments:")
-		for _, e := range experimentOrder {
-			fmt.Println("  " + e)
-		}
-		fmt.Println("  all")
+		fmt.Print(run.Default.Usage())
 		return
 	}
-	// Expand "all" wherever it appears, preserving the canonical order.
-	var expanded []string
-	for _, a := range args {
-		if a == "all" {
-			expanded = append(expanded, experimentOrder...)
-		} else {
-			expanded = append(expanded, a)
-		}
+	names, err := run.Default.Expand(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
+		os.Exit(2)
 	}
-	args = expanded
+
+	// SIGINT cancels the context instead of killing the process, so a long
+	// run interrupted at the terminal still prints its completed tables and
+	// flushes -json before exiting. A second SIGINT kills immediately
+	// (signal.NotifyContext restores the default handler after stop).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var rep run.Reporter
+	if *progress {
+		rep = run.NewProgressPrinter(os.Stderr)
+	}
+
 	results := map[string]any{}
-	for _, name := range args {
+	runStart := time.Now()
+	completed := 0
+	var cancelErr error
+	for _, name := range names {
 		start := time.Now()
-		out, structured, err := run(name, opts)
+		res, err := runExperiment(ctx, name, opts, rep)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tsbench: %v\n", err)
-			os.Exit(2)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				cancelErr = err
+				break
+			}
+			fmt.Fprintf(os.Stderr, "tsbench: %s: %v\n", name, err)
+			os.Exit(1)
 		}
-		results[strings.ToLower(name)] = structured
-		fmt.Println(out)
+		results[name] = res.Structured
+		completed++
+		fmt.Println(res.Text)
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
-	if *jsonPath != "" {
+	if *jsonPath != "" && len(results) > 0 {
 		data, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsbench: marshal results: %v\n", err)
@@ -119,73 +145,19 @@ func main() {
 		}
 		fmt.Printf("[structured results written to %s]\n", *jsonPath)
 	}
+	if cancelErr != nil {
+		fmt.Fprintf(os.Stderr, "tsbench: run cancelled (%v): completed %d/%d experiments in %v\n",
+			cancelErr, completed, len(names), time.Since(runStart).Round(time.Millisecond))
+		os.Exit(3)
+	}
 }
 
-// run executes one experiment, returning its rendered text and the
-// structured result for JSON export.
-func run(name string, opts experiments.Options) (string, any, error) {
-	switch strings.ToLower(name) {
-	case "table2":
-		t := experiments.Table2(opts)
-		return t.Render(), t, nil
-	case "table3":
-		t := experiments.Table3(opts)
-		return t.Render(), t, nil
-	case "table4":
-		s := experiments.Table4()
-		return s, s, nil
-	case "table5":
-		t := experiments.Table5(opts)
-		return t.Render(), t, nil
-	case "table6":
-		t := experiments.Table6(opts)
-		return t.Render(), t, nil
-	case "table7":
-		t := experiments.Table7(opts)
-		return t.Render(), t, nil
-	case "figure1":
-		s := experiments.Figure1()
-		return s, s, nil
-	case "figure2":
-		r := experiments.Figure2(opts)
-		return r.Render(), r, nil
-	case "figure3":
-		r := experiments.Figure3(opts)
-		return r.Render(), r, nil
-	case "figure4":
-		r := experiments.Figure4(opts)
-		return r.Render(), r, nil
-	case "figure5":
-		r := experiments.Figure5(opts)
-		return r.Render(), r, nil
-	case "figure6":
-		r := experiments.Figure6(opts)
-		return r.Render(), r, nil
-	case "figure7":
-		r := experiments.Figure7(opts)
-		return r.Render(), r, nil
-	case "figure8":
-		r := experiments.Figure8(opts)
-		return r.Render(), r, nil
-	case "figure9":
-		pts := experiments.Figure9(opts)
-		return experiments.RenderRuntime(pts), pts, nil
-	case "figure10":
-		pts := experiments.Figure10(opts, 0, nil)
-		return experiments.RenderConvergence(pts), pts, nil
-	case "svm":
-		rows := experiments.ExtensionSVM(opts)
-		return experiments.RenderSVM(rows), rows, nil
-	case "pruning":
-		rows := experiments.PruningAblation(opts)
-		return experiments.RenderPruning(rows), rows, nil
-	case "tuning":
-		rows := experiments.TuningAblation(opts)
-		return experiments.RenderTuning(rows), rows, nil
-	case "spectral":
-		rows := experiments.SpectralRuntime(opts)
-		return experiments.RenderSpectral(rows), rows, nil
-	default:
-		return "", nil, fmt.Errorf("unknown experiment %q", name)
+// runExperiment resolves name in the default registry and executes its
+// driver under ctx, reporting progress to rep (which may be nil).
+func runExperiment(ctx context.Context, name string, opts experiments.Options, rep run.Reporter) (run.Result, error) {
+	e, ok := run.Default.Lookup(name)
+	if !ok {
+		return run.Result{}, fmt.Errorf("unknown experiment %q", name)
 	}
+	return e.Run(ctx, opts, rep)
 }

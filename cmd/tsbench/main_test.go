@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/run"
 )
 
 func tinyOpts() experiments.Options {
@@ -22,53 +24,80 @@ func TestRunDispatchesEveryExperiment(t *testing.T) {
 		t.Skip("runs every experiment driver")
 	}
 	opts := tinyOpts()
-	for _, name := range experimentOrder {
-		out, structured, err := run(name, opts)
+	for _, name := range run.Default.Names() {
+		res, err := runExperiment(context.Background(), name, opts, nil)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if out == "" {
+		if res.Text == "" {
 			t.Errorf("%s: empty rendering", name)
 		}
-		if structured == nil {
+		if res.Structured == nil {
 			t.Errorf("%s: no structured result", name)
 		}
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if _, _, err := run("table99", tinyOpts()); err == nil {
+	if _, err := runExperiment(context.Background(), "table99", tinyOpts(), nil); err == nil {
 		t.Fatal("expected error for unknown experiment")
 	}
 }
 
 func TestRunCaseInsensitive(t *testing.T) {
-	out, _, err := run("Figure3", tinyOpts())
+	res, err := runExperiment(context.Background(), "Figure3", tinyOpts(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "Lorentzian") {
-		t.Errorf("unexpected output:\n%s", out)
+	if !strings.Contains(res.Text, "Lorentzian") {
+		t.Errorf("unexpected output:\n%s", res.Text)
 	}
 }
 
-func TestExperimentOrderCoversAllArtifacts(t *testing.T) {
+func TestRegistryCoversAllArtifacts(t *testing.T) {
 	want := []string{
 		"table2", "table3", "table4", "table5", "table6", "table7",
 		"figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "figure10", "svm", "pruning",
 		"tuning", "spectral",
 	}
+	names := run.Default.Names()
 	have := map[string]bool{}
-	for _, e := range experimentOrder {
+	for _, e := range names {
 		have[e] = true
 	}
 	for _, w := range want {
 		if !have[w] {
-			t.Errorf("experimentOrder missing %s", w)
+			t.Errorf("registry missing %s", w)
 		}
 	}
-	if len(experimentOrder) != len(want) {
-		t.Errorf("experimentOrder has %d entries, want %d", len(experimentOrder), len(want))
+	if len(names) != len(want) {
+		t.Errorf("registry has %d entries, want %d", len(names), len(want))
+	}
+}
+
+// TestExpandAll pins that "all" resolves through the registry to the full
+// canonical order, so the command-line contract cannot drift from the
+// registered drivers.
+func TestExpandAll(t *testing.T) {
+	names, err := run.Default.Expand([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(run.Default.Names()) {
+		t.Errorf("Expand(all) returned %d names, want %d", len(names), len(run.Default.Names()))
+	}
+	if _, err := run.Default.Expand([]string{"table99"}); err == nil {
+		t.Error("expected error expanding unknown experiment")
+	}
+}
+
+// TestRunCancelledBeforeStart pins that an already-cancelled context stops
+// an experiment before it does any work, returning context.Canceled.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := runExperiment(ctx, "table2", tinyOpts(), nil); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

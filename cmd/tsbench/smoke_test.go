@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// -smoke gates the end-to-end cancellation smoke test: it builds the real
+// tsbench binary and runs it with a short -timeout, so it is too slow (and
+// too build-environment-dependent) for the default test run. `make smoke`
+// enables it.
+var smoke = flag.Bool("smoke", false, "run the end-to-end tsbench cancellation smoke test")
+
+// smokeCountRE scrubs the completed-experiment count: how many experiments
+// finish inside the timeout depends on machine speed.
+var smokeCountRE = regexp.MustCompile(`completed \d+/\d+ experiments`)
+
+// scrubSmokeStderr canonicalizes the cancellation report: durations and the
+// machine-dependent completed count become placeholders, and progress lines
+// (if any) are dropped, leaving only the structural cancellation message.
+func scrubSmokeStderr(s string) string {
+	var kept []string
+	for _, ln := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		if !strings.HasPrefix(ln, "tsbench: ") {
+			continue
+		}
+		ln = durationRE.ReplaceAllString(ln, "<DUR>")
+		ln = smokeCountRE.ReplaceAllString(ln, "completed <N>/<M> experiments")
+		kept = append(kept, ln)
+	}
+	return strings.Join(kept, "\n") + "\n"
+}
+
+// TestSmokeCancellation builds tsbench and runs `-timeout 2s all`,
+// asserting the graceful-cancellation contract end to end: exit status 3,
+// a structural cancellation report on stderr, and a stdout that contains
+// only fully-completed experiment tables (every printed experiment carries
+// its completion trailer, and nothing is truncated mid-table).
+func TestSmokeCancellation(t *testing.T) {
+	if !*smoke {
+		t.Skip("smoke test disabled; run via `make smoke` (go test -smoke)")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "tsbench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-timeout", "2s", "all")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("expected tsbench to exit non-zero under -timeout 2s, got err=%v\nstderr:\n%s", err, stderr.String())
+	}
+	if code := exitErr.ExitCode(); code != 3 {
+		t.Errorf("exit code = %d, want 3\nstderr:\n%s", code, stderr.String())
+	}
+
+	got := scrubSmokeStderr(stderr.String())
+	path := filepath.Join("testdata", "golden", "smoke.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file (run `make smoke GOFLAGS=-update-golden` equivalent: go test ./cmd/tsbench -run TestSmokeCancellation -smoke -update-golden): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("scrubbed stderr differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+		}
+	}
+
+	// Every experiment printed to stdout must be complete: the number of
+	// rendered tables equals the number of completion trailers, and the
+	// output ends on a trailer boundary rather than mid-table.
+	out := stdout.String()
+	trailers := regexp.MustCompile(`(?m)^\[\w+ completed in [^\]]+\]$`).FindAllString(out, -1)
+	if strings.TrimSpace(out) != "" && len(trailers) == 0 {
+		t.Errorf("stdout has content but no completion trailers:\n%s", out)
+	}
+	if trimmed := strings.TrimRight(out, "\n"); trimmed != "" {
+		lines := strings.Split(trimmed, "\n")
+		last := lines[len(lines)-1]
+		if !regexp.MustCompile(`^\[\w+ completed in [^\]]+\]$`).MatchString(last) {
+			t.Errorf("stdout does not end on a completion trailer (partial table leaked):\n...%s", last)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package embedding
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,6 +42,32 @@ type Embedder interface {
 	Fit(train [][]float64)
 	// Transform maps one series to its representation.
 	Transform(x []float64) []float64
+}
+
+// ContextFitter is an optional Embedder extension: a fit whose heavy
+// phases (Gram fills, landmark alignments) observe cancellation at the
+// chunk granularity of internal/par. A cancelled fit returns ctx.Err()
+// and leaves the embedder unfitted.
+type ContextFitter interface {
+	Embedder
+	// FitCtx is Fit honoring ctx.
+	FitCtx(ctx context.Context, train [][]float64) error
+}
+
+// Fit fits e, using the cancellable path when the embedder provides one.
+// An uncancellable fit under an already-cancelled context still returns
+// the context error without fitting, so callers get a uniform contract.
+func Fit(ctx context.Context, e Embedder, train [][]float64) error {
+	if cf, ok := e.(ContextFitter); ok {
+		return cf.FitCtx(ctx, train)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	e.Fit(train)
+	return nil
 }
 
 // euclidean is the comparison applied to representations.
@@ -154,6 +181,15 @@ func (g *GRAIL) dim() int {
 
 // Fit implements Embedder.
 func (g *GRAIL) Fit(train [][]float64) {
+	if err := g.FitCtx(context.Background(), train); err != nil {
+		panic(fmt.Sprintf("embedding: GRAIL.Fit: impossible error %v", err))
+	}
+}
+
+// FitCtx implements ContextFitter: the landmark Gram preparation and fill
+// observe ctx; a cancelled fit returns ctx.Err() with the embedder left
+// unfitted.
+func (g *GRAIL) FitCtx(ctx context.Context, train [][]float64) error {
 	if len(train) == 0 {
 		panic("embedding: GRAIL.Fit with empty training set")
 	}
@@ -169,9 +205,16 @@ func (g *GRAIL) Fit(train [][]float64) {
 	// batched engine: one FFT spectrum per landmark, parallel tiled fill,
 	// values bitwise identical to the per-pair prepared loop it replaces.
 	// The engine's prepared states also serve Transform's projections.
-	eng := kernel.NewGramEngine(g.sink, landmarks)
+	eng, err := kernel.NewGramEngineCtx(ctx, g.sink, landmarks)
+	if err != nil {
+		return err
+	}
 	g.landmarks = eng.PreparedStates()
-	w := eng.Gram()
+	w, err := eng.GramCtx(ctx)
+	if err != nil {
+		g.landmarks = nil
+		return err
+	}
 	vals, vecs := linalg.EigenSym(w)
 	// Basis columns U_j / sqrt(lambda_j) for the positive spectrum. The
 	// negated guard keeps NaN eigenvalues (degenerate landmark input) in
@@ -188,6 +231,7 @@ func (g *GRAIL) Fit(train [][]float64) {
 	}
 	g.basis = basis
 	g.fitted = true
+	return nil
 }
 
 // Transform implements Embedder.
@@ -368,6 +412,14 @@ func (s *SPIRAL) Name() string { return "spiral" }
 
 // Fit implements Embedder.
 func (s *SPIRAL) Fit(train [][]float64) {
+	if err := s.FitCtx(context.Background(), train); err != nil {
+		panic(fmt.Sprintf("embedding: SPIRAL.Fit: impossible error %v", err))
+	}
+}
+
+// FitCtx implements ContextFitter: the landmark DTW pair matrix observes
+// ctx; a cancelled fit returns ctx.Err() with the embedder left unfitted.
+func (s *SPIRAL) FitCtx(ctx context.Context, train [][]float64) error {
 	if len(train) == 0 {
 		panic("embedding: SPIRAL.Fit with empty training set")
 	}
@@ -391,12 +443,15 @@ func (s *SPIRAL) Fit(train [][]float64) {
 	}
 	workers := par.Workers(len(pairs))
 	scratch := make([]dtwScratch, workers)
-	par.ForShard(len(pairs), workers, func(worker, t int) {
+	if err := par.ForShardCtx(ctx, len(pairs), workers, func(worker, t int) {
 		p := pairs[t]
 		v := dtwUnconstrainedTo(s.landmarks[p.i], s.landmarks[p.j], &scratch[worker])
 		sq.Set(p.i, p.j, v)
 		sq.Set(p.j, p.i, v)
-	})
+	}); err != nil {
+		s.landmarks = nil
+		return err
+	}
 	// Double centering: B = -1/2 (sq - rowMean - colMean + totalMean).
 	s.colMean = make([]float64, d)
 	var total float64
@@ -432,6 +487,7 @@ func (s *SPIRAL) Fit(train [][]float64) {
 	}
 	s.proj = proj
 	s.fitted = true
+	return nil
 }
 
 // Transform implements Embedder.
@@ -612,4 +668,8 @@ func All(seed int64) []Embedder {
 	}
 }
 
-var _ measure.Stateful = Measure{} // Measure provides the fast path
+var (
+	_ measure.Stateful = Measure{} // Measure provides the fast path
+	_ ContextFitter    = (*GRAIL)(nil)
+	_ ContextFitter    = (*SPIRAL)(nil)
+)

@@ -12,6 +12,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -28,10 +29,19 @@ import (
 // exactly once; when it is exactly symmetric and the matrix is square over
 // the same series, only the upper triangle is computed and mirrored.
 func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
+	e, _ := MatrixCtx(context.Background(), m, queries, refs)
+	return e
+}
+
+// MatrixCtx is Matrix honoring cancellation at the row-chunk (or engine
+// tile) granularity of internal/par: on a non-nil error the returned
+// matrix is partially filled and must be discarded. An uncancelled call is
+// bitwise-identical to Matrix.
+func MatrixCtx(ctx context.Context, m measure.Measure, queries, refs [][]float64) ([][]float64, error) {
 	n, p := len(queries), len(refs)
 	e := make([][]float64, n)
 	if n == 0 {
-		return e
+		return e, nil
 	}
 	// One flat backing array sliced into rows: a single allocation instead
 	// of one per row, and cache-contiguous row traversal downstream.
@@ -47,14 +57,25 @@ func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 	// on this side. Checked before the Stateful dispatch so per-series
 	// preparation is not duplicated.
 	if bm, ok := m.(measure.SelfMatrixer); ok && sameSeries(queries, refs) {
-		if bm.SelfMatrix(queries, e) {
-			parallelRows(n, workers, func(i int) {
+		accepted := false
+		if cm, ok := m.(measure.ContextSelfMatrixer); ok {
+			var err error
+			if accepted, err = cm.SelfMatrixCtx(ctx, queries, e); err != nil {
+				return e, err
+			}
+		} else {
+			accepted = bm.SelfMatrix(queries, e)
+		}
+		if accepted {
+			if err := par.ForCtx(ctx, n, workers, func(i int) {
 				row := e[i]
 				for j, v := range row {
 					row[j] = measure.Sanitize(v)
 				}
-			})
-			return e
+			}); err != nil {
+				return e, err
+			}
+			return e, nil
 		}
 	}
 
@@ -64,10 +85,15 @@ func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 	// per cell.
 	var dist func(i, j int) float64
 	if sm, ok := m.(measure.Stateful); ok {
-		pq := prepareAll(sm, queries, workers)
+		pq, err := prepareAll(ctx, sm, queries, workers)
+		if err != nil {
+			return e, err
+		}
 		pr := pq
 		if !sameSeries(queries, refs) {
-			pr = prepareAll(sm, refs, workers)
+			if pr, err = prepareAll(ctx, sm, refs, workers); err != nil {
+				return e, err
+			}
 		}
 		pdist := sm.PreparedDistance
 		dist = func(i, j int) float64 {
@@ -81,30 +107,34 @@ func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 	}
 
 	if measure.IsSymmetric(m) && sameSeries(queries, refs) {
-		parallelRows(n, workers, func(i int) {
+		if err := par.ForCtx(ctx, n, workers, func(i int) {
 			row := e[i]
 			for j := i; j < p; j++ {
 				row[j] = dist(i, j)
 			}
-		})
+		}); err != nil {
+			return e, err
+		}
 		// Mirror the strict upper triangle; rows own their lower halves so
 		// the writes race with nothing.
-		parallelRows(n, workers, func(i int) {
+		if err := par.ForCtx(ctx, n, workers, func(i int) {
 			row := e[i]
 			for j := 0; j < i; j++ {
 				row[j] = e[j][i]
 			}
-		})
-		return e
+		}); err != nil {
+			return e, err
+		}
+		return e, nil
 	}
 
-	parallelRows(n, workers, func(i int) {
+	err := par.ForCtx(ctx, n, workers, func(i int) {
 		row := e[i]
 		for j := range refs {
 			row[j] = dist(i, j)
 		}
 	})
-	return e
+	return e, err
 }
 
 // sameSeries reports whether the two slices share identical backing rows,
@@ -127,19 +157,12 @@ func sameSeries(a, b [][]float64) bool {
 	return true
 }
 
-func prepareAll(sm measure.Stateful, series [][]float64, workers int) []any {
+func prepareAll(ctx context.Context, sm measure.Stateful, series [][]float64, workers int) ([]any, error) {
 	out := make([]any, len(series))
-	parallelRows(len(series), workers, func(i int) {
+	err := par.ForCtx(ctx, len(series), workers, func(i int) {
 		out[i] = sm.Prepare(series[i])
 	})
-	return out
-}
-
-// parallelRows runs fn(i) for i in [0, n) across the given worker count,
-// dispatching chunks through a shared atomic counter (see internal/par)
-// rather than a channel handoff per row.
-func parallelRows(n, workers int, fn func(i int)) {
-	par.For(n, workers, fn)
+	return out, err
 }
 
 // Neighbors returns the argmin of every row of E: the nearest reference
@@ -243,17 +266,35 @@ func TuneSupervised(g Grid, train [][]float64, labels []int) (measure.Measure, f
 	return m, acc
 }
 
+// TuneSupervisedCtx is TuneSupervised honoring cancellation; on a non-nil
+// error the returned measure and accuracy are meaningless.
+func TuneSupervisedCtx(ctx context.Context, g Grid, train [][]float64, labels []int) (measure.Measure, float64, error) {
+	m, acc, _, err := TuneSupervisedDetailedCtx(ctx, g, train, labels)
+	return m, acc, err
+}
+
 // TuneSupervisedDetailed is TuneSupervised exposing the engine's sweep
 // statistics (preparation sharing, warm-start pruning, wave structure) for
 // the tuning ablation experiment.
 func TuneSupervisedDetailed(g Grid, train [][]float64, labels []int) (measure.Measure, float64, search.GridStats) {
+	m, acc, st, _ := TuneSupervisedDetailedCtx(context.Background(), g, train, labels)
+	return m, acc, st
+}
+
+// TuneSupervisedDetailedCtx is TuneSupervisedDetailed honoring
+// cancellation; on a non-nil error the selection is meaningless (the sweep
+// stopped mid-grid) and only the error should be consulted.
+func TuneSupervisedDetailedCtx(ctx context.Context, g Grid, train [][]float64, labels []int) (measure.Measure, float64, search.GridStats, error) {
 	if len(g.Candidates) == 0 {
 		panic(fmt.Sprintf("eval: empty grid %q", g.Name))
 	}
 	if len(train) != len(labels) {
 		panic(fmt.Sprintf("eval: %d training series, %d labels", len(train), len(labels)))
 	}
-	gr := search.LeaveOneOutGrid(g.Candidates, train)
+	gr, err := search.LeaveOneOutGridCtx(ctx, g.Candidates, train)
+	if err != nil {
+		return g.Candidates[0], 0, gr.Stats, err
+	}
 	bestIdx, bestAcc := 0, -1.0
 	for i := range g.Candidates {
 		acc := AccuracyFromNeighbors(gr.PerCandidate[i].Indices, labels, labels)
@@ -262,7 +303,7 @@ func TuneSupervisedDetailed(g Grid, train [][]float64, labels []int) (measure.Me
 			bestIdx = i
 		}
 	}
-	return g.Candidates[bestIdx], bestAcc, gr.Stats
+	return g.Candidates[bestIdx], bestAcc, gr.Stats, nil
 }
 
 // Normalize applies the normalizer to every series of both splits,
@@ -292,16 +333,37 @@ func Normalize(d *dataset.Dataset, n norm.Normalizer) *dataset.Dataset {
 // pre-normalized data). Neighbors come from the pruned search engine; no
 // test-by-train matrix is materialized.
 func TestAccuracy(m measure.Measure, d *dataset.Dataset, n norm.Normalizer) float64 {
+	acc, _ := TestAccuracyCtx(context.Background(), m, d, n)
+	return acc
+}
+
+// TestAccuracyCtx is TestAccuracy honoring cancellation; on a non-nil
+// error the accuracy is meaningless.
+func TestAccuracyCtx(ctx context.Context, m measure.Measure, d *dataset.Dataset, n norm.Normalizer) (float64, error) {
 	nd := Normalize(d, n)
-	res := search.OneNN(m, nd.Test, nd.Train)
-	return AccuracyFromNeighbors(res.Indices, nd.TestLabels, nd.TrainLabels)
+	res, err := search.OneNNCtx(ctx, m, nd.Test, nd.Train)
+	if err != nil {
+		return 0, err
+	}
+	return AccuracyFromNeighbors(res.Indices, nd.TestLabels, nd.TrainLabels), nil
 }
 
 // SupervisedAccuracy tunes the grid on the training split (leave-one-out)
 // and reports the 1-NN test accuracy of the selected candidate, returning
 // the accuracy and the chosen measure.
 func SupervisedAccuracy(g Grid, d *dataset.Dataset, n norm.Normalizer) (float64, measure.Measure) {
+	acc, chosen, _ := SupervisedAccuracyCtx(context.Background(), g, d, n)
+	return acc, chosen
+}
+
+// SupervisedAccuracyCtx is SupervisedAccuracy honoring cancellation; on a
+// non-nil error the accuracy and measure are meaningless.
+func SupervisedAccuracyCtx(ctx context.Context, g Grid, d *dataset.Dataset, n norm.Normalizer) (float64, measure.Measure, error) {
 	nd := Normalize(d, n)
-	chosen, _ := TuneSupervised(g, nd.Train, nd.TrainLabels)
-	return TestAccuracy(chosen, nd, nil), chosen
+	chosen, _, err := TuneSupervisedCtx(ctx, g, nd.Train, nd.TrainLabels)
+	if err != nil {
+		return 0, nil, err
+	}
+	acc, err := TestAccuracyCtx(ctx, chosen, nd, nil)
+	return acc, chosen, err
 }

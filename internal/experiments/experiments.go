@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,57 +16,22 @@ import (
 	"repro/internal/eval"
 	"repro/internal/measure"
 	"repro/internal/norm"
+	"repro/internal/run"
 	"repro/internal/stats"
 )
 
-// Options configures an experiment run.
-type Options struct {
-	// Archive is the dataset collection; when nil, a default reduced
-	// synthetic archive is generated (seed 1).
-	Archive []*dataset.Dataset
-	// WilcoxonAlpha is the pairwise significance level (paper: 0.05).
-	WilcoxonAlpha float64
-	// FriedmanAlpha is the multi-measure significance level (paper: 0.10).
-	FriedmanAlpha float64
-	// GridStride thins every supervised parameter grid (1 = full Table 4
-	// grids); reduced runs use larger strides to stay laptop-friendly.
-	GridStride int
-	// Pruned times inference through the pruned 1-NN engine
-	// (internal/search) instead of exhaustive matrix computation in the
-	// runtime experiments. Accuracies are identical either way.
-	Pruned bool
-}
-
-// Defaults fills unset fields and generates the default archive if needed.
-func (o Options) Defaults() Options {
-	if o.WilcoxonAlpha == 0 {
-		o.WilcoxonAlpha = 0.05
-	}
-	if o.FriedmanAlpha == 0 {
-		o.FriedmanAlpha = 0.10
-	}
-	if o.GridStride == 0 {
-		o.GridStride = 1
-	}
-	if o.Archive == nil {
-		o.Archive = DefaultArchive()
-	}
-	return o
-}
+// Options configures an experiment run. It lives in the run-core package
+// (so registry drivers have a typed signature without an import cycle) and
+// is aliased here for the package's long-standing API.
+type Options = run.Options
 
 // DefaultArchive generates the reduced synthetic archive used by tests and
 // benches: 24 datasets capped at modest sizes, deterministic under seed 1.
-func DefaultArchive() []*dataset.Dataset {
-	return dataset.GenerateArchive(dataset.ArchiveOptions{
-		Seed: 1, Count: 24, MaxLength: 96, MaxTrain: 18, MaxTest: 24,
-	})
-}
+func DefaultArchive() []*dataset.Dataset { return run.DefaultArchive() }
 
 // FullArchive generates the full-scale synthetic archive: 128 datasets,
 // mirroring the cardinality of the UCR archive the paper evaluates on.
-func FullArchive() []*dataset.Dataset {
-	return dataset.GenerateArchive(dataset.ArchiveOptions{Seed: 1, Count: 128})
-}
+func FullArchive() []*dataset.Dataset { return run.FullArchive() }
 
 // Combo names a (measure, normalization) evaluation unit and stores its
 // per-dataset accuracies.
@@ -90,11 +56,22 @@ func (c Combo) Mean() float64 {
 // EvaluateCombo computes per-dataset 1-NN test accuracies for a fixed
 // measure under a normalization (nil = data as stored, i.e. z-normalized).
 func EvaluateCombo(archive []*dataset.Dataset, m measure.Measure, n norm.Normalizer) Combo {
+	c, _ := EvaluateComboCtx(context.Background(), archive, m, n)
+	return c
+}
+
+// EvaluateComboCtx is EvaluateCombo honoring cancellation between (and
+// inside) datasets; on a non-nil error the combo is partial.
+func EvaluateComboCtx(ctx context.Context, archive []*dataset.Dataset, m measure.Measure, n norm.Normalizer) (Combo, error) {
 	c := Combo{Measure: m.Name(), Scaling: scalingName(n), Accs: make([]float64, len(archive))}
 	for i, d := range archive {
-		c.Accs[i] = eval.TestAccuracy(m, d, n)
+		acc, err := eval.TestAccuracyCtx(ctx, m, d, n)
+		if err != nil {
+			return c, err
+		}
+		c.Accs[i] = acc
 	}
-	return c
+	return c, nil
 }
 
 func scalingName(n norm.Normalizer) string {
@@ -107,12 +84,22 @@ func scalingName(n norm.Normalizer) string {
 // EvaluateSupervised computes per-dataset accuracies with leave-one-out
 // parameter tuning on each training split (the LOOCCV rows of Tables 5-6).
 func EvaluateSupervised(archive []*dataset.Dataset, g eval.Grid, n norm.Normalizer) Combo {
+	c, _ := EvaluateSupervisedCtx(context.Background(), archive, g, n)
+	return c
+}
+
+// EvaluateSupervisedCtx is EvaluateSupervised honoring cancellation; on a
+// non-nil error the combo is partial.
+func EvaluateSupervisedCtx(ctx context.Context, archive []*dataset.Dataset, g eval.Grid, n norm.Normalizer) (Combo, error) {
 	c := Combo{Measure: g.Name, Scaling: "LOOCV", Accs: make([]float64, len(archive))}
 	for i, d := range archive {
-		acc, _ := eval.SupervisedAccuracy(g, d, n)
+		acc, _, err := eval.SupervisedAccuracyCtx(ctx, g, d, n)
+		if err != nil {
+			return c, err
+		}
 		c.Accs[i] = acc
 	}
-	return c
+	return c, nil
 }
 
 // Row is one line of a comparison table (the shared shape of Tables 2, 3,

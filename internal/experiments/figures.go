@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,119 +9,238 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/lockstep"
+	"repro/internal/measure"
 	"repro/internal/norm"
+	"repro/internal/run"
 	"repro/internal/sliding"
 )
+
+// comboThunk is one deferred combo evaluation of a figure's line-up.
+type comboThunk func(ctx context.Context) (Combo, error)
+
+// evalCombos runs a figure's combo line-up under a run.Task named after
+// the experiment, stepping once per combo; on a non-nil error the combos
+// evaluated so far are returned (partial).
+func evalCombos(ctx context.Context, rep run.Reporter, experiment string, thunks []comboThunk) ([]Combo, error) {
+	task := run.NewTask(rep, experiment, "combos", len(thunks))
+	combos := make([]Combo, 0, len(thunks))
+	for _, th := range thunks {
+		c, err := th(ctx)
+		if err != nil {
+			return combos, err
+		}
+		combos = append(combos, c)
+		task.Step(c.Measure + "/" + c.Scaling)
+	}
+	task.Done()
+	return combos, nil
+}
+
+// plainCombo defers EvaluateComboCtx on a fixed measure/normalizer pair.
+func plainCombo(archive []*dataset.Dataset, m measure.Measure, n norm.Normalizer) comboThunk {
+	return func(ctx context.Context) (Combo, error) {
+		return EvaluateComboCtx(ctx, archive, m, n)
+	}
+}
+
+// fixedCombo is plainCombo with the Scaling column forced (the "fixed" and
+// baseline "-" rows of the figures).
+func fixedCombo(archive []*dataset.Dataset, m measure.Measure, n norm.Normalizer, scaling string) comboThunk {
+	return func(ctx context.Context) (Combo, error) {
+		c, err := EvaluateComboCtx(ctx, archive, m, n)
+		c.Scaling = scaling
+		return c, err
+	}
+}
+
+// supervisedThunk defers supervisedComboCtx on a grid.
+func supervisedThunk(opts Options, g eval.Grid, n norm.Normalizer) comboThunk {
+	return func(ctx context.Context) (Combo, error) {
+		return supervisedComboCtx(ctx, opts, g, n)
+	}
+}
+
+// gridCombo defers EvaluateSupervisedCtx on a thinned grid (LOOCV label).
+func gridCombo(opts Options, g eval.Grid) comboThunk {
+	return func(ctx context.Context) (Combo, error) {
+		return EvaluateSupervisedCtx(ctx, opts.Archive, eval.Thin(g, opts.GridStride), nil)
+	}
+}
 
 // Figure2 reproduces Figure 2: the Friedman/Nemenyi ranking of the
 // lock-step measures that outperform ED under z-score (supervised
 // Minkowski, Lorentzian, Manhattan, Avg L1/Linf, DISSIM) together with ED.
 func Figure2(opts Options) Ranking {
+	r, _ := Figure2Ctx(context.Background(), opts, nil)
+	return r
+}
+
+// Figure2Ctx is Figure2 honoring cancellation and reporting per-combo
+// progress; on a non-nil error the ranking is meaningless.
+func Figure2Ctx(ctx context.Context, opts Options, rep run.Reporter) (Ranking, error) {
 	opts = opts.Defaults()
-	combos := []Combo{
-		supervisedCombo(opts, eval.MinkowskiGrid(), norm.ZScore()),
-		EvaluateCombo(opts.Archive, lockstep.Lorentzian(), norm.ZScore()),
-		EvaluateCombo(opts.Archive, lockstep.Manhattan(), norm.ZScore()),
-		EvaluateCombo(opts.Archive, lockstep.AvgL1Linf(), norm.ZScore()),
-		EvaluateCombo(opts.Archive, lockstep.DISSIM(), norm.ZScore()),
-		EvaluateCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore()),
+	combos, err := evalCombos(ctx, rep, "figure2", []comboThunk{
+		supervisedThunk(opts, eval.MinkowskiGrid(), norm.ZScore()),
+		plainCombo(opts.Archive, lockstep.Lorentzian(), norm.ZScore()),
+		plainCombo(opts.Archive, lockstep.Manhattan(), norm.ZScore()),
+		plainCombo(opts.Archive, lockstep.AvgL1Linf(), norm.ZScore()),
+		plainCombo(opts.Archive, lockstep.DISSIM(), norm.ZScore()),
+		plainCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore()),
+	})
+	if err != nil {
+		return Ranking{}, err
 	}
-	return BuildRanking("Figure 2: lock-step measures under z-score", combos, opts.FriedmanAlpha)
+	return BuildRanking("Figure 2: lock-step measures under z-score", combos, opts.FriedmanAlpha), nil
 }
 
 // Figure3 reproduces Figure 3: the ranking of the Lorentzian distance
 // under different normalizations against ED with z-score.
 func Figure3(opts Options) Ranking {
+	r, _ := Figure3Ctx(context.Background(), opts, nil)
+	return r
+}
+
+// Figure3Ctx is Figure3 honoring cancellation and reporting per-combo
+// progress.
+func Figure3Ctx(ctx context.Context, opts Options, rep run.Reporter) (Ranking, error) {
 	opts = opts.Defaults()
 	lor := lockstep.Lorentzian()
-	combos := []Combo{
-		EvaluateCombo(opts.Archive, lor, norm.ZScore()),
-		EvaluateCombo(opts.Archive, lor, norm.MinMax()),
-		EvaluateCombo(opts.Archive, lor, norm.UnitLength()),
-		EvaluateCombo(opts.Archive, lor, norm.MeanNorm()),
-		EvaluateCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore()),
+	combos, err := evalCombos(ctx, rep, "figure3", []comboThunk{
+		plainCombo(opts.Archive, lor, norm.ZScore()),
+		plainCombo(opts.Archive, lor, norm.MinMax()),
+		plainCombo(opts.Archive, lor, norm.UnitLength()),
+		plainCombo(opts.Archive, lor, norm.MeanNorm()),
+		plainCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore()),
+	})
+	if err != nil {
+		return Ranking{}, err
 	}
-	return BuildRanking("Figure 3: Lorentzian under different normalizations vs ED (z-score)", combos, opts.FriedmanAlpha)
+	return BuildRanking("Figure 3: Lorentzian under different normalizations vs ED (z-score)", combos, opts.FriedmanAlpha), nil
 }
 
 // Figure4 reproduces Figure 4: the ranking of NCCc under different
 // normalization methods, with Lorentzian (UnitLength) as the baseline.
 func Figure4(opts Options) Ranking {
+	r, _ := Figure4Ctx(context.Background(), opts, nil)
+	return r
+}
+
+// Figure4Ctx is Figure4 honoring cancellation and reporting per-combo
+// progress.
+func Figure4Ctx(ctx context.Context, opts Options, rep run.Reporter) (Ranking, error) {
 	opts = opts.Defaults()
 	sbd := sliding.SBD()
-	adapted := EvaluateCombo(opts.Archive, norm.AdaptiveScaling(sbd), nil)
-	adapted.Measure = sbd.Name()
-	adapted.Scaling = norm.AdaptiveName
-	combos := []Combo{
-		EvaluateCombo(opts.Archive, sbd, norm.ZScore()),
-		EvaluateCombo(opts.Archive, sbd, norm.MeanNorm()),
-		EvaluateCombo(opts.Archive, sbd, norm.UnitLength()),
-		EvaluateCombo(opts.Archive, sbd, norm.MinMax()),
-		adapted,
-		EvaluateCombo(opts.Archive, lockstep.Lorentzian(), norm.UnitLength()),
+	adaptedThunk := func(ctx context.Context) (Combo, error) {
+		adapted, err := EvaluateComboCtx(ctx, opts.Archive, norm.AdaptiveScaling(sbd), nil)
+		adapted.Measure = sbd.Name()
+		adapted.Scaling = norm.AdaptiveName
+		return adapted, err
 	}
-	return BuildRanking("Figure 4: NCCc under different normalizations vs Lorentzian (unitlength)", combos, opts.FriedmanAlpha)
+	combos, err := evalCombos(ctx, rep, "figure4", []comboThunk{
+		plainCombo(opts.Archive, sbd, norm.ZScore()),
+		plainCombo(opts.Archive, sbd, norm.MeanNorm()),
+		plainCombo(opts.Archive, sbd, norm.UnitLength()),
+		plainCombo(opts.Archive, sbd, norm.MinMax()),
+		adaptedThunk,
+		plainCombo(opts.Archive, lockstep.Lorentzian(), norm.UnitLength()),
+	})
+	if err != nil {
+		return Ranking{}, err
+	}
+	return BuildRanking("Figure 4: NCCc under different normalizations vs Lorentzian (unitlength)", combos, opts.FriedmanAlpha), nil
 }
 
 // Figure5 reproduces Figure 5: the ranking of the elastic measures with
 // supervised tuning, together with NCCc.
 func Figure5(opts Options) Ranking {
+	r, _ := Figure5Ctx(context.Background(), opts, nil)
+	return r
+}
+
+// Figure5Ctx is Figure5 honoring cancellation and reporting per-combo
+// progress.
+func Figure5Ctx(ctx context.Context, opts Options, rep run.Reporter) (Ranking, error) {
 	opts = opts.Defaults()
-	var combos []Combo
+	var thunks []comboThunk
 	for _, g := range eval.ElasticGrids() {
-		combos = append(combos, EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil))
+		thunks = append(thunks, gridCombo(opts, g))
 	}
-	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
-	base.Scaling = "-"
-	combos = append(combos, base)
-	return BuildRanking("Figure 5: elastic vs sliding measures (supervised)", combos, opts.FriedmanAlpha)
+	thunks = append(thunks, fixedCombo(opts.Archive, sliding.SBD(), nil, "-"))
+	combos, err := evalCombos(ctx, rep, "figure5", thunks)
+	if err != nil {
+		return Ranking{}, err
+	}
+	return BuildRanking("Figure 5: elastic vs sliding measures (supervised)", combos, opts.FriedmanAlpha), nil
 }
 
 // Figure6 reproduces Figure 6: the ranking of the elastic measures with
 // fixed (unsupervised) parameters, together with NCCc.
 func Figure6(opts Options) Ranking {
+	r, _ := Figure6Ctx(context.Background(), opts, nil)
+	return r
+}
+
+// Figure6Ctx is Figure6 honoring cancellation and reporting per-combo
+// progress.
+func Figure6Ctx(ctx context.Context, opts Options, rep run.Reporter) (Ranking, error) {
 	opts = opts.Defaults()
-	var combos []Combo
+	var thunks []comboThunk
 	for _, m := range unsupervisedElastic() {
-		c := EvaluateCombo(opts.Archive, m, nil)
-		c.Scaling = "fixed"
-		combos = append(combos, c)
+		thunks = append(thunks, fixedCombo(opts.Archive, m, nil, "fixed"))
 	}
-	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
-	base.Scaling = "-"
-	combos = append(combos, base)
-	return BuildRanking("Figure 6: elastic vs sliding measures (unsupervised)", combos, opts.FriedmanAlpha)
+	thunks = append(thunks, fixedCombo(opts.Archive, sliding.SBD(), nil, "-"))
+	combos, err := evalCombos(ctx, rep, "figure6", thunks)
+	if err != nil {
+		return Ranking{}, err
+	}
+	return BuildRanking("Figure 6: elastic vs sliding measures (unsupervised)", combos, opts.FriedmanAlpha), nil
 }
 
 // Figure7 reproduces Figure 7: kernels (KDTW, GAK, SINK) ranked together
 // with the strong elastic measures and NCCc under supervised tuning.
 func Figure7(opts Options) Ranking {
+	r, _ := Figure7Ctx(context.Background(), opts, nil)
+	return r
+}
+
+// Figure7Ctx is Figure7 honoring cancellation and reporting per-combo
+// progress.
+func Figure7Ctx(ctx context.Context, opts Options, rep run.Reporter) (Ranking, error) {
 	opts = opts.Defaults()
-	var combos []Combo
+	var thunks []comboThunk
 	for _, g := range []eval.Grid{eval.KDTWGrid(), eval.GAKGrid(), eval.SINKGrid(), eval.MSMGrid(), eval.TWEGrid(), eval.DTWGrid()} {
-		combos = append(combos, EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil))
+		thunks = append(thunks, gridCombo(opts, g))
 	}
-	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
-	base.Scaling = "-"
-	combos = append(combos, base)
-	return BuildRanking("Figure 7: kernel vs elastic vs sliding (supervised)", combos, opts.FriedmanAlpha)
+	thunks = append(thunks, fixedCombo(opts.Archive, sliding.SBD(), nil, "-"))
+	combos, err := evalCombos(ctx, rep, "figure7", thunks)
+	if err != nil {
+		return Ranking{}, err
+	}
+	return BuildRanking("Figure 7: kernel vs elastic vs sliding (supervised)", combos, opts.FriedmanAlpha), nil
 }
 
 // Figure8 reproduces Figure 8: the unsupervised counterpart of Figure 7.
 func Figure8(opts Options) Ranking {
+	r, _ := Figure8Ctx(context.Background(), opts, nil)
+	return r
+}
+
+// Figure8Ctx is Figure8 honoring cancellation and reporting per-combo
+// progress.
+func Figure8Ctx(ctx context.Context, opts Options, rep run.Reporter) (Ranking, error) {
 	opts = opts.Defaults()
 	ms := unsupervisedKernels()[:3] // KDTW, GAK, SINK
 	ms = append(ms, unsupervisedElastic()[:3]...)
-	var combos []Combo
+	var thunks []comboThunk
 	for _, m := range ms {
-		c := EvaluateCombo(opts.Archive, m, nil)
-		c.Scaling = "fixed"
-		combos = append(combos, c)
+		thunks = append(thunks, fixedCombo(opts.Archive, m, nil, "fixed"))
 	}
-	base := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
-	base.Scaling = "-"
-	combos = append(combos, base)
-	return BuildRanking("Figure 8: kernel vs elastic vs sliding (unsupervised)", combos, opts.FriedmanAlpha)
+	thunks = append(thunks, fixedCombo(opts.Archive, sliding.SBD(), nil, "-"))
+	combos, err := evalCombos(ctx, rep, "figure8", thunks)
+	if err != nil {
+		return Ranking{}, err
+	}
+	return BuildRanking("Figure 8: kernel vs elastic vs sliding (unsupervised)", combos, opts.FriedmanAlpha), nil
 }
 
 // Figure1 reproduces Figure 1 as ASCII art: how each of the 8

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/elastic"
 	"repro/internal/eval"
+	"repro/internal/run"
 	"repro/internal/search"
 )
 
@@ -41,8 +43,16 @@ func (r PruningRow) Speedup() float64 {
 // counters, and both accuracies. The Identical flag asserts the engine's
 // exactness on this archive; it failing would be a bug, not a trade-off.
 func PruningAblation(opts Options) []PruningRow {
+	rows, _ := PruningAblationCtx(context.Background(), opts, nil)
+	return rows
+}
+
+// PruningAblationCtx is PruningAblation honoring cancellation and
+// reporting per-band progress; on a non-nil error the rows are partial.
+func PruningAblationCtx(ctx context.Context, opts Options, rep run.Reporter) ([]PruningRow, error) {
 	opts = opts.Defaults()
 	bands := []int{5, 10, 100}
+	task := run.NewTask(rep, "pruning", "bands", len(bands))
 	rows := make([]PruningRow, 0, len(bands))
 	for _, band := range bands {
 		m := elastic.DTW{DeltaPercent: band}
@@ -50,13 +60,19 @@ func PruningAblation(opts Options) []PruningRow {
 		var accExact, accPruned float64
 		for _, d := range opts.Archive {
 			start := time.Now()
-			e := eval.Matrix(m, d.Test, d.Train)
+			e, err := eval.MatrixCtx(ctx, m, d.Test, d.Train)
+			if err != nil {
+				return rows, err
+			}
 			row.ExactTime += time.Since(start)
 			exactNb := eval.Neighbors(e)
 			accExact += eval.AccuracyFromNeighbors(exactNb, d.TestLabels, d.TrainLabels)
 
 			start = time.Now()
-			res := search.OneNN(m, d.Test, d.Train)
+			res, err := search.OneNNCtx(ctx, m, d.Test, d.Train)
+			if err != nil {
+				return rows, err
+			}
 			row.PrunedTime += time.Since(start)
 			accPruned += eval.AccuracyFromNeighbors(res.Indices, d.TestLabels, d.TrainLabels)
 			row.Stats.Pairs += res.Stats.Pairs
@@ -76,8 +92,10 @@ func PruningAblation(opts Options) []PruningRow {
 			row.AbandonFrac = float64(row.Stats.FullDist) / float64(row.Stats.Pairs)
 		}
 		rows = append(rows, row)
+		task.Step(fmt.Sprintf("band=%d", band))
 	}
-	return rows
+	task.Done()
+	return rows, nil
 }
 
 // RenderPruning formats the ablation as a table, one row per band.

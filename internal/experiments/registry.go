@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/run"
+)
+
+// This file registers every experiment driver into run.Default, in the
+// canonical order of the paper's narrative: lock-step results first
+// (Table 2, Figures 2-3), then sliding (Table 3, Figure 4), the parameter
+// grids (Table 4), elastic (Table 5, Figures 5-6), kernel (Table 6,
+// Figures 7-8), embedding (Table 7), the runtime studies (Figures 9-10),
+// the normalization illustration (Figure 1), and the extensions and
+// ablations (svm, pruning, tuning, spectral). cmd/tsbench derives its
+// experiment list, "all" expansion, and usage text from this registration,
+// so the command can never drift from the runnable set.
+
+// register adapts a typed Ctx driver producing a renderable value into a
+// registry entry.
+func register[T any](name, description string, drv func(ctx context.Context, opts Options, rep run.Reporter) (T, error), render func(T) string) {
+	run.Default.Register(run.Experiment{
+		Name:        name,
+		Description: description,
+		Run: func(ctx context.Context, opts Options, rep run.Reporter) (run.Result, error) {
+			v, err := drv(ctx, opts, rep)
+			if err != nil {
+				return run.Result{}, err
+			}
+			return run.Result{Text: render(v), Structured: v}, nil
+		},
+	})
+}
+
+func init() {
+	register("table2", "lock-step measures vs ED under every normalization",
+		Table2Ctx, Table.Render)
+	register("figure2", "CD ranking of the strong lock-step measures",
+		Figure2Ctx, Ranking.Render)
+	register("figure3", "CD ranking of Lorentzian across normalizations",
+		Figure3Ctx, Ranking.Render)
+	register("table3", "sliding cross-correlation variants vs Lorentzian",
+		Table3Ctx, Table.Render)
+	register("figure4", "CD ranking of NCCc across normalizations",
+		Figure4Ctx, Ranking.Render)
+	register("table4", "the supervised parameter grids (configuration)",
+		func(_ context.Context, _ Options, rep run.Reporter) (string, error) {
+			t := run.NewTask(rep, "table4", "grids", 1)
+			s := Table4()
+			t.Step("render")
+			t.Done()
+			return s, nil
+		}, func(s string) string { return s })
+	register("table5", "elastic measures vs NCCc, supervised and fixed",
+		Table5Ctx, Table.Render)
+	register("figure5", "CD ranking of elastic measures (supervised)",
+		Figure5Ctx, Ranking.Render)
+	register("figure6", "CD ranking of elastic measures (unsupervised)",
+		Figure6Ctx, Ranking.Render)
+	register("table6", "kernel measures vs NCCc, supervised and fixed",
+		Table6Ctx, Table.Render)
+	register("figure7", "CD ranking of kernel vs elastic (supervised)",
+		Figure7Ctx, Ranking.Render)
+	register("figure8", "CD ranking of kernel vs elastic (unsupervised)",
+		Figure8Ctx, Ranking.Render)
+	register("table7", "embedding measures vs NCCc",
+		Table7Ctx, Table.Render)
+	register("figure9", "accuracy-to-runtime scatter of prominent measures",
+		Figure9Ctx, RenderRuntime)
+	register("figure10", "1-NN error vs training-set size",
+		func(ctx context.Context, opts Options, rep run.Reporter) ([]ConvergencePoint, error) {
+			return Figure10Ctx(ctx, opts, rep, 0, nil)
+		}, RenderConvergence)
+	register("figure1", "the 8 normalization methods on an ECG pair",
+		func(_ context.Context, _ Options, rep run.Reporter) (string, error) {
+			t := run.NewTask(rep, "figure1", "plots", 1)
+			s := Figure1()
+			t.Step("render")
+			t.Done()
+			return s, nil
+		}, func(s string) string { return s })
+	register("svm", "kernel measures under 1-NN vs SVM (extension)",
+		ExtensionSVMCtx, RenderSVM)
+	register("pruning", "exhaustive matrix vs pruned 1-NN engine ablation",
+		PruningAblationCtx, RenderPruning)
+	register("tuning", "per-candidate loop vs grid tuning engine ablation",
+		TuningAblationCtx, RenderTuning)
+	register("spectral", "naive vs batched spectral/linalg engine ablation",
+		SpectralRuntimeCtx, RenderSpectral)
+}

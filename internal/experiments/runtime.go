@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/kernel"
 	"repro/internal/lockstep"
 	"repro/internal/measure"
+	"repro/internal/run"
 	"repro/internal/search"
 	"repro/internal/sliding"
 )
@@ -32,6 +34,15 @@ type RuntimePoint struct {
 // the test sets), as in the paper. With opts.Pruned the inference runs
 // through the matrix-free pruned engine; accuracies are identical.
 func Figure9(opts Options) []RuntimePoint {
+	p, _ := Figure9Ctx(context.Background(), opts, nil)
+	return p
+}
+
+// Figure9Ctx is Figure9 honoring cancellation and reporting per-measure
+// progress; on a non-nil error the points are partial. Cancellation is
+// observed inside the timed regions too (the engines are ctx-aware), so a
+// cancelled run never blocks on a long matrix fill.
+func Figure9Ctx(ctx context.Context, opts Options, rep run.Reporter) ([]RuntimePoint, error) {
 	opts = opts.Defaults()
 	type entry struct {
 		m     measure.Measure
@@ -49,6 +60,7 @@ func Figure9(opts Options) []RuntimePoint {
 		{kernel.GAK{Sigma: 0.1}, "O(m^2)"},
 		{kernel.KDTW{Gamma: 0.125}, "O(m^2)"},
 	}
+	task := run.NewTask(rep, "figure9", "measures", len(entries)+1)
 	points := make([]RuntimePoint, 0, len(entries)+1)
 	for _, e := range entries {
 		var correctWeighted float64
@@ -58,9 +70,17 @@ func Figure9(opts Options) []RuntimePoint {
 			var neighbors []int
 			start := time.Now()
 			if opts.Pruned {
-				neighbors = search.OneNN(e.m, d.Test, d.Train).Indices
+				res, err := search.OneNNCtx(ctx, e.m, d.Test, d.Train)
+				if err != nil {
+					return points, err
+				}
+				neighbors = res.Indices
 			} else {
-				neighbors = eval.Neighbors(eval.Matrix(e.m, d.Test, d.Train))
+				mat, err := eval.MatrixCtx(ctx, e.m, d.Test, d.Train)
+				if err != nil {
+					return points, err
+				}
+				neighbors = eval.Neighbors(mat)
 			}
 			elapsed += time.Since(start)
 			accs[i] = eval.AccuracyFromNeighbors(neighbors, d.TestLabels, d.TrainLabels)
@@ -72,6 +92,7 @@ func Figure9(opts Options) []RuntimePoint {
 			Inference: elapsed,
 			Class:     e.class,
 		})
+		task.Step(e.m.Name())
 	}
 	// GRAIL: fit on train (excluded from inference time, like the paper's
 	// one-off representation construction), then time the O(d) comparisons.
@@ -79,7 +100,9 @@ func Figure9(opts Options) []RuntimePoint {
 	var grailTime time.Duration
 	for i, d := range opts.Archive {
 		g := &embedding.GRAIL{Gamma: 5, Seed: int64(i + 1)}
-		g.Fit(d.Train)
+		if err := g.FitCtx(ctx, d.Train); err != nil {
+			return points, err
+		}
 		m := embedding.Measure{E: g}
 		sm := measure.Stateful(m)
 		prepTrain := make([]any, len(d.Train))
@@ -110,8 +133,10 @@ func Figure9(opts Options) []RuntimePoint {
 		Inference: grailTime,
 		Class:     "O(d)",
 	})
+	task.Step("grail[g=5]")
+	task.Done()
 	sort.Slice(points, func(i, j int) bool { return points[i].Inference < points[j].Inference })
-	return points
+	return points, nil
 }
 
 // RenderRuntime formats the Figure 9 points as a table sorted by runtime.
@@ -139,6 +164,13 @@ type ConvergencePoint struct {
 // with a large training split is generated (the archive's splits are too
 // small to subset meaningfully).
 func Figure10(opts Options, maxTrain int, sizes []int) []ConvergencePoint {
+	p, _ := Figure10Ctx(context.Background(), opts, nil, maxTrain, sizes)
+	return p
+}
+
+// Figure10Ctx is Figure10 honoring cancellation and reporting per-measure
+// progress; on a non-nil error the points are partial.
+func Figure10Ctx(ctx context.Context, opts Options, rep run.Reporter, maxTrain int, sizes []int) ([]ConvergencePoint, error) {
 	opts = opts.Defaults()
 	if maxTrain <= 0 {
 		maxTrain = 256
@@ -158,6 +190,7 @@ func Figure10(opts Options, maxTrain int, sizes []int) []ConvergencePoint {
 		elastic.DTW{DeltaPercent: 10},
 		elastic.MSM{C: 0.5},
 	}
+	task := run.NewTask(rep, "figure10", "measures", len(ms))
 	var out []ConvergencePoint
 	for _, m := range ms {
 		for _, n := range sizes {
@@ -165,12 +198,17 @@ func Figure10(opts Options, maxTrain int, sizes []int) []ConvergencePoint {
 				continue
 			}
 			sub := d.SubsetTrain(n)
-			e := eval.Matrix(m, sub.Test, sub.Train)
+			e, err := eval.MatrixCtx(ctx, m, sub.Test, sub.Train)
+			if err != nil {
+				return out, err
+			}
 			acc := eval.OneNN(e, sub.TestLabels, sub.TrainLabels)
 			out = append(out, ConvergencePoint{Measure: m.Name(), TrainSize: n, Error: 1 - acc})
 		}
+		task.Step(m.Name())
 	}
-	return out
+	task.Done()
+	return out, nil
 }
 
 // RenderConvergence formats the Figure 10 series as aligned columns, one

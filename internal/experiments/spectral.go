@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/kernel"
 	"repro/internal/linalg"
+	"repro/internal/run"
 )
 
 // SpectralRow is one operation of the spectral-engine runtime ablation:
@@ -42,7 +44,17 @@ func (r SpectralRow) Speedup() float64 {
 // geometry to rounding — the eigenbasis is free to rotate inside repeated
 // eigenspaces, so the comparison is on representation distances).
 func SpectralRuntime(opts Options) []SpectralRow {
+	rows, _ := SpectralRuntimeCtx(context.Background(), opts, nil)
+	return rows
+}
+
+// SpectralRuntimeCtx is SpectralRuntime honoring cancellation (checked
+// between rows of the naive fills, inside the engine fills, and between
+// layers — the dense eigensolvers themselves run to completion) and
+// reporting per-layer progress; on a non-nil error the rows are partial.
+func SpectralRuntimeCtx(ctx context.Context, opts Options, rep run.Reporter) ([]SpectralRow, error) {
 	opts = opts.Defaults()
+	task := run.NewTask(rep, "spectral", "layers", 3)
 	rows := make([]SpectralRow, 0, 3)
 
 	// Layer 1: all-pairs SINK Gram fill, 60 series of length 128.
@@ -56,6 +68,9 @@ func SpectralRuntime(opts Options) []SpectralRow {
 	naiveGram := linalg.NewMatrix(n, n)
 	start := time.Now()
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		for j := 0; j < n; j++ {
 			naiveGram.Set(i, j, sink.Distance(d.Train[i], d.Train[j]))
 		}
@@ -66,7 +81,13 @@ func SpectralRuntime(opts Options) []SpectralRow {
 		engineGram[i] = make([]float64, n)
 	}
 	start = time.Now()
-	kernel.NewGramEngine(sink, d.Train).FillDistances(engineGram)
+	eng, err := kernel.NewGramEngineCtx(ctx, sink, d.Train)
+	if err != nil {
+		return rows, err
+	}
+	if err := eng.FillDistancesCtx(ctx, engineGram); err != nil {
+		return rows, err
+	}
 	engineDur := time.Since(start)
 	var maxDiff float64
 	for i := 0; i < n; i++ {
@@ -80,6 +101,10 @@ func SpectralRuntime(opts Options) []SpectralRow {
 		Op: "gram-fill", Size: fmt.Sprintf("%dx%d", n, len(d.Train[0])),
 		MaxDiff: maxDiff, Naive: naiveDur, Engine: engineDur,
 	})
+	task.Step("gram-fill")
+	if err := ctx.Err(); err != nil {
+		return rows, err
+	}
 
 	// Layer 2: symmetric eigendecomposition of a PSD Gram-style matrix.
 	const en = 120
@@ -105,6 +130,10 @@ func SpectralRuntime(opts Options) []SpectralRow {
 		Op: "eigensym", Size: fmt.Sprintf("n=%d", en),
 		MaxDiff: maxDiff, Naive: naiveDur, Engine: engineDur,
 	})
+	task.Step("eigensym")
+	if err := ctx.Err(); err != nil {
+		return rows, err
+	}
 
 	// Layer 3: the GRAIL fit end to end — serial prepared-pair landmark
 	// Gram + Jacobi against the engine-backed Fit.
@@ -114,7 +143,9 @@ func SpectralRuntime(opts Options) []SpectralRow {
 	naiveDur = time.Since(start)
 	g := &embedding.GRAIL{Gamma: sink.Gamma, Dim: dim, Seed: 5}
 	start = time.Now()
-	g.Fit(d.Train)
+	if err := g.FitCtx(ctx, d.Train); err != nil {
+		return rows, err
+	}
 	engineDur = time.Since(start)
 	maxDiff = 0
 	naiveReps := make([][]float64, len(d.Test))
@@ -137,7 +168,9 @@ func SpectralRuntime(opts Options) []SpectralRow {
 		Op: "grail-fit", Size: fmt.Sprintf("%d landmarks", dim),
 		MaxDiff: maxDiff, Naive: naiveDur, Engine: engineDur,
 	})
-	return rows
+	task.Step("grail-fit")
+	task.Done()
+	return rows, nil
 }
 
 // grailFitSerial is the pre-engine GRAIL fit — per-pair prepared Gram

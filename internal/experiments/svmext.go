@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/kernel"
 	"repro/internal/measure"
+	"repro/internal/run"
 	"repro/internal/svm"
 )
 
@@ -51,6 +53,15 @@ func gramFromDist(m measure.Measure, dist [][]float64) [][]float64 {
 // mean accuracies. The same Gram matrices feed both classifiers, so the
 // comparison isolates the evaluation framework.
 func ExtensionSVM(opts Options) []SVMRow {
+	rows, _ := ExtensionSVMCtx(context.Background(), opts, nil)
+	return rows
+}
+
+// ExtensionSVMCtx is ExtensionSVM honoring cancellation (inside the
+// matrix fills and between datasets — the SVM solver itself runs to
+// completion per dataset) and reporting per-kernel progress; on a non-nil
+// error the rows are partial.
+func ExtensionSVMCtx(ctx context.Context, opts Options, rep run.Reporter) ([]SVMRow, error) {
 	opts = opts.Defaults()
 	kernels := []measure.Measure{
 		kernel.SINK{Gamma: 5},
@@ -58,22 +69,32 @@ func ExtensionSVM(opts Options) []SVMRow {
 		kernel.GAK{Sigma: 0.1},
 		kernel.RBF{Gamma: 2},
 	}
+	task := run.NewTask(rep, "svm", "kernels", len(kernels))
 	rows := make([]SVMRow, 0, len(kernels))
 	for _, k := range kernels {
 		var nnSum, svmSum float64
 		for i, d := range opts.Archive {
-			distTest := eval.Matrix(k, d.Test, d.Train)
+			distTest, err := eval.MatrixCtx(ctx, k, d.Test, d.Train)
+			if err != nil {
+				return rows, err
+			}
 			nnSum += eval.OneNN(distTest, d.TestLabels, d.TrainLabels)
 
-			gTrain := gramFromDist(k, eval.Matrix(k, d.Train, d.Train))
+			distTrain, err := eval.MatrixCtx(ctx, k, d.Train, d.Train)
+			if err != nil {
+				return rows, err
+			}
+			gTrain := gramFromDist(k, distTrain)
 			gTest := gramFromDist(k, distTest)
 			model := svm.Train(gTrain, d.TrainLabels, svm.Config{C: 10, Seed: int64(i + 1)})
 			svmSum += model.Accuracy(gTest, d.TestLabels)
 		}
 		n := float64(len(opts.Archive))
 		rows = append(rows, SVMRow{Kernel: k.Name(), OneNNAcc: nnSum / n, SVMAcc: svmSum / n})
+		task.Step(k.Name())
 	}
-	return rows
+	task.Done()
+	return rows, nil
 }
 
 // RenderSVM formats the extension-experiment rows.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/lockstep"
 	"repro/internal/measure"
 	"repro/internal/norm"
+	"repro/internal/run"
 	"repro/internal/sliding"
 )
 
@@ -19,25 +21,58 @@ import (
 // state of the art). Only combos with a higher average accuracy than the
 // baseline are reported, as in the paper.
 func Table2(opts Options) Table {
+	t, _ := Table2Ctx(context.Background(), opts, nil)
+	return t
+}
+
+// Table2Ctx is Table2 honoring cancellation and reporting per-combo
+// progress; on a non-nil error the table is meaningless.
+func Table2Ctx(ctx context.Context, opts Options, rep run.Reporter) (Table, error) {
 	opts = opts.Defaults()
-	baseline := EvaluateCombo(opts.Archive, lockstep.Euclidean(), norm.ZScore())
+	total := 1 + len(lockstep.All())*len(norm.All()) + 1
+	task := run.NewTask(rep, "table2", "combos", total)
+	baseline, err := EvaluateComboCtx(ctx, opts.Archive, lockstep.Euclidean(), norm.ZScore())
+	if err != nil {
+		return Table{}, err
+	}
+	task.Step(baseline.Measure + "/" + baseline.Scaling)
 	var combos []Combo
 	for _, m := range lockstep.All() {
 		for _, n := range norm.All() {
-			combos = append(combos, EvaluateCombo(opts.Archive, m, n))
+			c, err := EvaluateComboCtx(ctx, opts.Archive, m, n)
+			if err != nil {
+				return Table{}, err
+			}
+			combos = append(combos, c)
+			task.Step(c.Measure + "/" + c.Scaling)
 		}
 	}
 	// The supervised Minkowski row of the paper: tuned per dataset.
-	combos = append(combos, supervisedCombo(opts, eval.MinkowskiGrid(), norm.ZScore()))
-	return BuildTable("Table 2: lock-step measures vs ED (z-score)", combos, baseline, opts.WilcoxonAlpha, false)
+	sup, err := supervisedComboCtx(ctx, opts, eval.MinkowskiGrid(), norm.ZScore())
+	if err != nil {
+		return Table{}, err
+	}
+	combos = append(combos, sup)
+	task.Step(sup.Measure + "/" + sup.Scaling)
+	task.Done()
+	return BuildTable("Table 2: lock-step measures vs ED (z-score)", combos, baseline, opts.WilcoxonAlpha, false), nil
 }
 
 // supervisedCombo evaluates a grid with LOOCV tuning under a normalization
 // and labels the combo with the normalization name plus the protocol.
 func supervisedCombo(opts Options, g eval.Grid, n norm.Normalizer) Combo {
-	c := EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), n)
-	c.Scaling = scalingName(n) + "+loocv"
+	c, _ := supervisedComboCtx(context.Background(), opts, g, n)
 	return c
+}
+
+// supervisedComboCtx is supervisedCombo honoring cancellation.
+func supervisedComboCtx(ctx context.Context, opts Options, g eval.Grid, n norm.Normalizer) (Combo, error) {
+	c, err := EvaluateSupervisedCtx(ctx, opts.Archive, eval.Thin(g, opts.GridStride), n)
+	if err != nil {
+		return c, err
+	}
+	c.Scaling = scalingName(n) + "+loocv"
+	return c, nil
 }
 
 // Table3 reproduces Table 3: the 4 cross-correlation variants under every
@@ -45,19 +80,42 @@ func supervisedCombo(opts Options, g eval.Grid, n norm.Normalizer) Combo {
 // compared against the Lorentzian distance, the new lock-step state of the
 // art established by Table 2.
 func Table3(opts Options) Table {
+	t, _ := Table3Ctx(context.Background(), opts, nil)
+	return t
+}
+
+// Table3Ctx is Table3 honoring cancellation and reporting per-combo
+// progress.
+func Table3Ctx(ctx context.Context, opts Options, rep run.Reporter) (Table, error) {
 	opts = opts.Defaults()
-	baseline := EvaluateCombo(opts.Archive, lockstep.Lorentzian(), norm.UnitLength())
+	total := 1 + len(sliding.All())*(len(norm.All())+1)
+	task := run.NewTask(rep, "table3", "combos", total)
+	baseline, err := EvaluateComboCtx(ctx, opts.Archive, lockstep.Lorentzian(), norm.UnitLength())
+	if err != nil {
+		return Table{}, err
+	}
+	task.Step(baseline.Measure + "/" + baseline.Scaling)
 	var combos []Combo
 	for _, m := range sliding.All() {
 		for _, n := range norm.All() {
-			combos = append(combos, EvaluateCombo(opts.Archive, m, n))
+			c, err := EvaluateComboCtx(ctx, opts.Archive, m, n)
+			if err != nil {
+				return Table{}, err
+			}
+			combos = append(combos, c)
+			task.Step(c.Measure + "/" + c.Scaling)
 		}
-		adapted := EvaluateCombo(opts.Archive, norm.AdaptiveScaling(m), nil)
+		adapted, err := EvaluateComboCtx(ctx, opts.Archive, norm.AdaptiveScaling(m), nil)
+		if err != nil {
+			return Table{}, err
+		}
 		adapted.Measure = m.Name()
 		adapted.Scaling = norm.AdaptiveName
 		combos = append(combos, adapted)
+		task.Step(adapted.Measure + "/" + adapted.Scaling)
 	}
-	return BuildTable("Table 3: sliding measures vs Lorentzian (unitlength)", combos, baseline, opts.WilcoxonAlpha, false)
+	task.Done()
+	return BuildTable("Table 3: sliding measures vs Lorentzian (unitlength)", combos, baseline, opts.WilcoxonAlpha, false), nil
 }
 
 // unsupervisedElastic returns the fixed-parameter elastic rows of Table 5.
@@ -79,23 +137,51 @@ func unsupervisedElastic() []measure.Measure {
 // protocols. All data is z-normalized, as the paper fixes from Section 7
 // onward.
 func Table5(opts Options) Table {
+	t, _ := Table5Ctx(context.Background(), opts, nil)
+	return t
+}
+
+// Table5Ctx is Table5 honoring cancellation and reporting per-combo
+// progress.
+func Table5Ctx(ctx context.Context, opts Options, rep run.Reporter) (Table, error) {
 	opts = opts.Defaults()
-	baseline := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	supGrids := 0
+	for _, g := range eval.ElasticGrids() {
+		if g.Name != "erp" {
+			supGrids++
+		}
+	}
+	total := 1 + supGrids + len(unsupervisedElastic())
+	task := run.NewTask(rep, "table5", "combos", total)
+	baseline, err := EvaluateComboCtx(ctx, opts.Archive, sliding.SBD(), nil)
+	if err != nil {
+		return Table{}, err
+	}
 	baseline.Scaling = "-"
+	task.Step(baseline.Measure)
 	var combos []Combo
 	for _, g := range eval.ElasticGrids() {
 		if g.Name == "erp" {
 			continue // parameter-free: only the unsupervised row applies
 		}
-		c := EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil)
+		c, err := EvaluateSupervisedCtx(ctx, opts.Archive, eval.Thin(g, opts.GridStride), nil)
+		if err != nil {
+			return Table{}, err
+		}
 		combos = append(combos, c)
+		task.Step(c.Measure + "/" + c.Scaling)
 	}
 	for _, m := range unsupervisedElastic() {
-		c := EvaluateCombo(opts.Archive, m, nil)
+		c, err := EvaluateComboCtx(ctx, opts.Archive, m, nil)
+		if err != nil {
+			return Table{}, err
+		}
 		c.Scaling = "fixed"
 		combos = append(combos, c)
+		task.Step(c.Measure + "/fixed")
 	}
-	return BuildTable("Table 5: elastic measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true)
+	task.Done()
+	return BuildTable("Table 5: elastic measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true), nil
 }
 
 // unsupervisedKernels returns the fixed-parameter kernel rows of Table 6.
@@ -111,57 +197,112 @@ func unsupervisedKernels() []measure.Measure {
 // Table6 reproduces Table 6: the 4 kernel functions against NCCc under
 // both protocols.
 func Table6(opts Options) Table {
+	t, _ := Table6Ctx(context.Background(), opts, nil)
+	return t
+}
+
+// Table6Ctx is Table6 honoring cancellation and reporting per-combo
+// progress.
+func Table6Ctx(ctx context.Context, opts Options, rep run.Reporter) (Table, error) {
 	opts = opts.Defaults()
-	baseline := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
+	total := 1 + len(eval.KernelGrids()) + len(unsupervisedKernels())
+	task := run.NewTask(rep, "table6", "combos", total)
+	baseline, err := EvaluateComboCtx(ctx, opts.Archive, sliding.SBD(), nil)
+	if err != nil {
+		return Table{}, err
+	}
 	baseline.Scaling = "-"
+	task.Step(baseline.Measure)
 	var combos []Combo
 	for _, g := range eval.KernelGrids() {
-		combos = append(combos, EvaluateSupervised(opts.Archive, eval.Thin(g, opts.GridStride), nil))
+		c, err := EvaluateSupervisedCtx(ctx, opts.Archive, eval.Thin(g, opts.GridStride), nil)
+		if err != nil {
+			return Table{}, err
+		}
+		combos = append(combos, c)
+		task.Step(c.Measure + "/" + c.Scaling)
 	}
 	for _, m := range unsupervisedKernels() {
-		c := EvaluateCombo(opts.Archive, m, nil)
+		c, err := EvaluateComboCtx(ctx, opts.Archive, m, nil)
+		if err != nil {
+			return Table{}, err
+		}
 		c.Scaling = "fixed"
 		combos = append(combos, c)
+		task.Step(c.Measure + "/fixed")
 	}
-	return BuildTable("Table 6: kernel measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true)
+	task.Done()
+	return BuildTable("Table 6: kernel measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true), nil
 }
 
 // EvaluateEmbedding fits a fresh embedder per dataset (on its training
 // split) and evaluates the ED-over-representations measure, the protocol
 // of Section 9.
 func EvaluateEmbedding(archive []*dataset.Dataset, build func(seed int64) embedding.Embedder) Combo {
+	c, _ := EvaluateEmbeddingCtx(context.Background(), archive, build)
+	return c
+}
+
+// EvaluateEmbeddingCtx is EvaluateEmbedding honoring cancellation inside
+// both the per-dataset fit and the evaluation; on a non-nil error the
+// combo is partial.
+func EvaluateEmbeddingCtx(ctx context.Context, archive []*dataset.Dataset, build func(seed int64) embedding.Embedder) (Combo, error) {
 	var c Combo
 	c.Scaling = "fit/train"
 	c.Accs = make([]float64, len(archive))
 	for i, d := range archive {
 		e := build(int64(i + 1))
-		e.Fit(d.Train)
+		if err := embedding.Fit(ctx, e, d.Train); err != nil {
+			return c, err
+		}
 		m := embedding.Measure{E: e}
 		if c.Measure == "" {
 			c.Measure = m.Name()
 		}
-		c.Accs[i] = eval.TestAccuracy(m, d, nil)
+		acc, err := eval.TestAccuracyCtx(ctx, m, d, nil)
+		if err != nil {
+			return c, err
+		}
+		c.Accs[i] = acc
 	}
-	return c
+	return c, nil
 }
 
 // Table7 reproduces Table 7: the 4 embedding measures (fixed-length-100
 // representations compared with ED) against NCCc.
 func Table7(opts Options) Table {
+	t, _ := Table7Ctx(context.Background(), opts, nil)
+	return t
+}
+
+// Table7Ctx is Table7 honoring cancellation and reporting per-combo
+// progress.
+func Table7Ctx(ctx context.Context, opts Options, rep run.Reporter) (Table, error) {
 	opts = opts.Defaults()
-	baseline := EvaluateCombo(opts.Archive, sliding.SBD(), nil)
-	baseline.Scaling = "-"
 	builders := []func(seed int64) embedding.Embedder{
 		func(seed int64) embedding.Embedder { return &embedding.GRAIL{Gamma: 5, Seed: seed} },
 		func(seed int64) embedding.Embedder { return &embedding.RWS{Gamma: 1, DMax: 25, Seed: seed} },
 		func(seed int64) embedding.Embedder { return &embedding.SPIRAL{Seed: seed} },
 		func(seed int64) embedding.Embedder { return &embedding.SIDL{Lambda: 0.1, R: 0.25, Seed: seed} },
 	}
+	task := run.NewTask(rep, "table7", "combos", 1+len(builders))
+	baseline, err := EvaluateComboCtx(ctx, opts.Archive, sliding.SBD(), nil)
+	if err != nil {
+		return Table{}, err
+	}
+	baseline.Scaling = "-"
+	task.Step(baseline.Measure)
 	var combos []Combo
 	for _, b := range builders {
-		combos = append(combos, EvaluateEmbedding(opts.Archive, b))
+		c, err := EvaluateEmbeddingCtx(ctx, opts.Archive, b)
+		if err != nil {
+			return Table{}, err
+		}
+		combos = append(combos, c)
+		task.Step(c.Measure)
 	}
-	return BuildTable("Table 7: embedding measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true)
+	task.Done()
+	return BuildTable("Table 7: embedding measures vs NCCc", combos, baseline, opts.WilcoxonAlpha, true), nil
 }
 
 // Table4 renders the parameter grids (Table 4 is configuration, not an

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/run"
 	"repro/internal/search"
 )
 
@@ -42,8 +44,16 @@ func (r TuningRow) Speedup() float64 {
 // lower bounds of its own), and SINK (preparation shared across the gamma
 // sweep).
 func TuningAblation(opts Options) []TuningRow {
+	rows, _ := TuningAblationCtx(context.Background(), opts, nil)
+	return rows
+}
+
+// TuningAblationCtx is TuningAblation honoring cancellation and reporting
+// per-grid progress; on a non-nil error the rows are partial.
+func TuningAblationCtx(ctx context.Context, opts Options, rep run.Reporter) ([]TuningRow, error) {
 	opts = opts.Defaults()
 	grids := []eval.Grid{eval.MSMGrid(), eval.DTWGrid(), eval.LCSSGrid(), eval.SINKGrid()}
+	task := run.NewTask(rep, "tuning", "grids", len(grids))
 	rows := make([]TuningRow, 0, len(grids))
 	for _, g := range grids {
 		g = eval.Thin(g, opts.GridStride)
@@ -53,7 +63,10 @@ func TuningAblation(opts Options) []TuningRow {
 			start := time.Now()
 			naiveIdx, naiveAcc := 0, -1.0
 			for i, cand := range g.Candidates {
-				res := search.LeaveOneOut(cand, d.Train)
+				res, err := search.LeaveOneOutCtx(ctx, cand, d.Train)
+				if err != nil {
+					return rows, err
+				}
 				acc := eval.AccuracyFromNeighbors(res.Indices, d.TrainLabels, d.TrainLabels)
 				if acc > naiveAcc {
 					naiveAcc, naiveIdx = acc, i
@@ -62,7 +75,10 @@ func TuningAblation(opts Options) []TuningRow {
 			row.NaiveTime += time.Since(start)
 
 			start = time.Now()
-			chosen, acc, st := eval.TuneSupervisedDetailed(g, d.Train, d.TrainLabels)
+			chosen, acc, st, err := eval.TuneSupervisedDetailedCtx(ctx, g, d.Train, d.TrainLabels)
+			if err != nil {
+				return rows, err
+			}
 			row.EngineTime += time.Since(start)
 
 			if chosen.Name() != g.Candidates[naiveIdx].Name() || acc != naiveAcc {
@@ -81,8 +97,10 @@ func TuningAblation(opts Options) []TuningRow {
 		row.SharedPrepRate = agg.SharedPrepRate()
 		row.WarmPruneRate = agg.WarmPruneRate()
 		rows = append(rows, row)
+		task.Step(row.Grid)
 	}
-	return rows
+	task.Done()
+	return rows, nil
 }
 
 // RenderTuning formats the ablation as a table, one row per grid family.

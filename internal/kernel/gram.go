@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -55,9 +56,17 @@ type GramEngine struct {
 // plans would); zero-length series are legal and produce the degenerate
 // distance 1 everywhere, matching SINK.Distance.
 func NewGramEngine(s SINK, series [][]float64) *GramEngine {
+	e, _ := NewGramEngineCtx(context.Background(), s, series)
+	return e
+}
+
+// NewGramEngineCtx is NewGramEngine honoring cancellation during the
+// parallel per-series preparation; on a non-nil error the engine is
+// unusable and must be discarded.
+func NewGramEngineCtx(ctx context.Context, s SINK, series [][]float64) (*GramEngine, error) {
 	e := &GramEngine{sink: s, n: len(series)}
 	if e.n == 0 {
-		return e
+		return e, nil
 	}
 	e.m = len(series[0])
 	for i, x := range series {
@@ -72,7 +81,7 @@ func NewGramEngine(s SINK, series [][]float64) *GramEngine {
 	e.self = make([]float64, e.n)
 	// The per-series core is the bitwise computation of SINK.GridPrepare
 	// (norm accumulation order included), parallelized across series.
-	par.For(e.n, par.Workers(e.n), func(i int) {
+	if err := par.ForCtx(ctx, e.n, par.Workers(e.n), func(i int) {
 		x := series[i]
 		var ss float64
 		for _, v := range x {
@@ -82,8 +91,10 @@ func NewGramEngine(s SINK, series [][]float64) *GramEngine {
 		e.plans[i] = fft.NewPlan(x)
 		e.ccSelf[i] = e.plans[i].CrossCorrelateWith(e.plans[i])
 		e.self[i] = s.sumExp(e.ccSelf[i], e.norms[i]*e.norms[i])
-	})
-	return e
+	}); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // Len returns the number of series the engine was built over.
@@ -144,8 +155,19 @@ func (e *GramEngine) pairDistance(i, j int, sc *gramScratch) float64 {
 // the last bits from what the per-pair path returns. Tiles are dispatched
 // over internal/par with one scratch arena entry per worker.
 func (e *GramEngine) FillDistances(rows [][]float64) {
+	// nil, not context.Background(): the escaping backgroundCtx composite
+	// would cost the hot path one heap allocation per fill.
+	_ = e.FillDistancesCtx(nil, rows)
+}
+
+// FillDistancesCtx is FillDistances honoring cancellation: a cancelled
+// fill stops within one tile per worker and returns ctx.Err() with rows
+// partially written (the caller must discard them). An uncancelled fill
+// runs the exact same tile schedule as FillDistances. A nil ctx never
+// cancels.
+func (e *GramEngine) FillDistancesCtx(ctx context.Context, rows [][]float64) error {
 	if e.n == 0 {
-		return
+		return nil
 	}
 	if len(rows) != e.n {
 		panic(fmt.Sprintf("kernel: FillDistances got %d rows, want %d", len(rows), e.n))
@@ -154,7 +176,7 @@ func (e *GramEngine) FillDistances(rows [][]float64) {
 	tiles := nt * nt
 	workers := par.Workers(tiles)
 	sc := e.arena(workers)
-	par.ForShard(tiles, workers, func(worker, t int) {
+	return par.ForShardCtx(ctx, tiles, workers, func(worker, t int) {
 		s := &sc[worker]
 		iLo := (t / nt) * gramTile
 		jLo := (t % nt) * gramTile
@@ -182,9 +204,16 @@ func (e *GramEngine) FillDistances(rows [][]float64) {
 // writes land in strictly-lower tiles no worker owns, so the parallel
 // fill is race-free.
 func (e *GramEngine) Gram() *linalg.Matrix {
+	g, _ := e.GramCtx(context.Background())
+	return g
+}
+
+// GramCtx is Gram honoring cancellation; on a non-nil error the returned
+// matrix is partial and must be discarded.
+func (e *GramEngine) GramCtx(ctx context.Context) (*linalg.Matrix, error) {
 	g := linalg.NewMatrix(e.n, e.n)
 	if e.n == 0 {
-		return g
+		return g, nil
 	}
 	nt := (e.n + gramTile - 1) / gramTile
 	// Flat work list of upper-triangle tiles (ti <= tj).
@@ -196,7 +225,7 @@ func (e *GramEngine) Gram() *linalg.Matrix {
 	}
 	workers := par.Workers(len(tiles))
 	sc := e.arena(workers)
-	par.ForShard(len(tiles), workers, func(worker, t int) {
+	err := par.ForShardCtx(ctx, len(tiles), workers, func(worker, t int) {
 		s := &sc[worker]
 		iLo, jLo := tiles[t][0]*gramTile, tiles[t][1]*gramTile
 		iHi, jHi := iLo+gramTile, jLo+gramTile
@@ -222,7 +251,7 @@ func (e *GramEngine) Gram() *linalg.Matrix {
 			}
 		}
 	})
-	return g
+	return g, err
 }
 
 // PreparedStates returns per-series prepared SINK states equivalent —

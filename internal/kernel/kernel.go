@@ -9,6 +9,7 @@
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -160,17 +161,28 @@ func (s SINK) Distance(x, y []float64) float64 {
 // identical to the per-pair prepared path. Ragged input declines the fast
 // path so the caller's pairwise loop reproduces the usual length panic.
 func (s SINK) SelfMatrix(series [][]float64, rows [][]float64) bool {
+	ok, _ := s.SelfMatrixCtx(context.Background(), series, rows)
+	return ok
+}
+
+// SelfMatrixCtx implements measure.ContextSelfMatrixer: the engine's
+// preparation and tiled fill observe ctx at chunk granularity; on a
+// non-nil error rows are partial and must be discarded.
+func (s SINK) SelfMatrixCtx(ctx context.Context, series [][]float64, rows [][]float64) (bool, error) {
 	if len(series) == 0 {
-		return false
+		return false, nil
 	}
 	m := len(series[0])
 	for _, x := range series {
 		if len(x) != m {
-			return false
+			return false, nil
 		}
 	}
-	NewGramEngine(s, series).FillDistances(rows)
-	return true
+	eng, err := NewGramEngineCtx(ctx, s, series)
+	if err != nil {
+		return true, err
+	}
+	return true, eng.FillDistancesCtx(ctx, rows)
 }
 
 //

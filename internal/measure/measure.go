@@ -10,6 +10,7 @@
 package measure
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -110,6 +111,18 @@ type SelfMatrixer interface {
 	// SelfMatrix fills rows (len(series) square) with all raw pairwise
 	// distances over series, returning false to decline.
 	SelfMatrix(series [][]float64, rows [][]float64) bool
+}
+
+// ContextSelfMatrixer is SelfMatrixer with cooperative cancellation: the
+// engine observes ctx at its dispatch-chunk granularity and returns
+// ctx.Err() with rows partially filled (the caller must discard them).
+// The declined/accepted contract and the bitwise requirement on success
+// match SelfMatrix exactly.
+type ContextSelfMatrixer interface {
+	SelfMatrixer
+	// SelfMatrixCtx is SelfMatrix honoring ctx; on a non-nil error the
+	// accepted return is meaningless and rows are partial.
+	SelfMatrixCtx(ctx context.Context, series [][]float64, rows [][]float64) (bool, error)
 }
 
 // PreparationSharing is an optional declaration for Stateful measures whose

@@ -1,0 +1,54 @@
+package run
+
+import "repro/internal/dataset"
+
+// Options configures an experiment run. It lives in the run-core (the
+// experiments package aliases it) so registry drivers have a fully typed
+// signature without an import cycle.
+type Options struct {
+	// Archive is the dataset collection; when nil, a default reduced
+	// synthetic archive is generated (seed 1).
+	Archive []*dataset.Dataset
+	// WilcoxonAlpha is the pairwise significance level (paper: 0.05).
+	WilcoxonAlpha float64
+	// FriedmanAlpha is the multi-measure significance level (paper: 0.10).
+	FriedmanAlpha float64
+	// GridStride thins every supervised parameter grid (1 = full Table 4
+	// grids); reduced runs use larger strides to stay laptop-friendly.
+	GridStride int
+	// Pruned times inference through the pruned 1-NN engine
+	// (internal/search) instead of exhaustive matrix computation in the
+	// runtime experiments. Accuracies are identical either way.
+	Pruned bool
+}
+
+// Defaults fills unset fields and generates the default archive if needed.
+func (o Options) Defaults() Options {
+	if o.WilcoxonAlpha == 0 {
+		o.WilcoxonAlpha = 0.05
+	}
+	if o.FriedmanAlpha == 0 {
+		o.FriedmanAlpha = 0.10
+	}
+	if o.GridStride == 0 {
+		o.GridStride = 1
+	}
+	if o.Archive == nil {
+		o.Archive = DefaultArchive()
+	}
+	return o
+}
+
+// DefaultArchive generates the reduced synthetic archive used by tests and
+// benches: 24 datasets capped at modest sizes, deterministic under seed 1.
+func DefaultArchive() []*dataset.Dataset {
+	return dataset.GenerateArchive(dataset.ArchiveOptions{
+		Seed: 1, Count: 24, MaxLength: 96, MaxTrain: 18, MaxTest: 24,
+	})
+}
+
+// FullArchive generates the full-scale synthetic archive: 128 datasets,
+// mirroring the cardinality of the UCR archive the paper evaluates on.
+func FullArchive() []*dataset.Dataset {
+	return dataset.GenerateArchive(dataset.ArchiveOptions{Seed: 1, Count: 128})
+}

@@ -1,0 +1,120 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Result is what a driver hands back to the caller: the rendered text of
+// the table or figure, and the structured value exported by -json.
+type Result struct {
+	Text       string
+	Structured any
+}
+
+// Driver executes one experiment. It must honor ctx cancellation (return
+// ctx.Err() promptly, with whatever it completed discarded or partial) and
+// may emit progress events through rep (which can be nil).
+type Driver func(ctx context.Context, opts Options, rep Reporter) (Result, error)
+
+// Experiment is one registry entry: a runnable, self-describing artifact
+// of the evaluation.
+type Experiment struct {
+	Name        string // canonical lower-case name, e.g. "table5"
+	Description string // one-line summary shown in usage listings
+	Run         Driver
+}
+
+// Registry is an ordered, name-keyed collection of experiments.
+// Registration order is the canonical execution order ("all" runs in it).
+type Registry struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]Experiment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Experiment{}}
+}
+
+// Default is the process-wide registry; internal/experiments populates it
+// at init time and cmd/tsbench drives from it.
+var Default = NewRegistry()
+
+// Register adds e to the registry. It panics on an empty name, a nil
+// driver, or a duplicate name — all programmer errors at init time.
+func (r *Registry) Register(e Experiment) {
+	if e.Name == "" || e.Name != strings.ToLower(e.Name) {
+		panic(fmt.Sprintf("run: invalid experiment name %q (must be non-empty lower-case)", e.Name))
+	}
+	if e.Run == nil {
+		panic(fmt.Sprintf("run: experiment %q registered without a driver", e.Name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[e.Name]; dup {
+		panic(fmt.Sprintf("run: experiment %q registered twice", e.Name))
+	}
+	r.byName[e.Name] = e
+	r.order = append(r.order, e.Name)
+}
+
+// Names returns the experiment names in registration (canonical) order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Lookup resolves a name case-insensitively.
+func (r *Registry) Lookup(name string) (Experiment, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.byName[strings.ToLower(name)]
+	return e, ok
+}
+
+// Usage renders the experiment listing for command usage text: one line
+// per experiment in canonical order, name-aligned, plus the "all" pseudo
+// experiment. Generated from the registry so it can never drift from the
+// runnable set.
+func (r *Registry) Usage() string {
+	names := r.Names()
+	width := len("all")
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	var b strings.Builder
+	for _, n := range names {
+		e, _ := r.Lookup(n)
+		fmt.Fprintf(&b, "  %-*s  %s\n", width, n, e.Description)
+	}
+	fmt.Fprintf(&b, "  %-*s  every experiment above, in canonical order\n", width, "all")
+	return b.String()
+}
+
+// Expand replaces every occurrence of "all" (case-insensitive) in args
+// with the full canonical experiment list and validates that every
+// resulting name is registered, returning the resolved canonical names.
+func (r *Registry) Expand(args []string) ([]string, error) {
+	var out []string
+	for _, a := range args {
+		if strings.EqualFold(a, "all") {
+			out = append(out, r.Names()...)
+			continue
+		}
+		e, ok := r.Lookup(a)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)", a, strings.Join(r.Names(), " "))
+		}
+		out = append(out, e.Name)
+	}
+	return out, nil
+}

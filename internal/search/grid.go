@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"sync"
 
@@ -276,9 +277,24 @@ func LeaveOneOutGrid(cands []measure.Measure, train [][]float64) GridResult {
 	return NewTuneIndex(cands, train).Evaluate()
 }
 
+// LeaveOneOutGridCtx is LeaveOneOutGrid honoring cancellation: a cancelled
+// sweep stops within one dispatch chunk per worker and returns ctx.Err()
+// with the partially-filled GridResult (candidates from completed waves
+// hold exact results; the rest hold zero Results).
+func LeaveOneOutGridCtx(ctx context.Context, cands []measure.Measure, train [][]float64) (GridResult, error) {
+	return NewTuneIndex(cands, train).EvaluateCtx(ctx)
+}
+
 // Evaluate runs the full grid schedule: family preparations, then each
 // warm-start wave through one pooled dispatch.
 func (ti *TuneIndex) Evaluate() GridResult {
+	res, _ := ti.EvaluateCtx(context.Background())
+	return res
+}
+
+// EvaluateCtx is Evaluate honoring cancellation; see LeaveOneOutGridCtx
+// for the partial-result contract.
+func (ti *TuneIndex) EvaluateCtx(ctx context.Context) (GridResult, error) {
 	res := GridResult{PerCandidate: make([]Result, len(ti.cands))}
 	st := &res.Stats
 	st.Candidates = len(ti.cands)
@@ -289,14 +305,21 @@ func (ti *TuneIndex) Evaluate() GridResult {
 		}
 	}
 
-	shared := ti.prepareFamilies(st)
+	shared, err := ti.prepareFamilies(ctx, st)
+	if err != nil {
+		return res, err
+	}
 
 	if ti.bottom >= 0 {
 		ti.finite = make([]bool, n)
-		par.For(n, par.Workers(n), func(i int) {
+		if err := par.ForCtx(ctx, n, par.Workers(n), func(i int) {
 			ti.finite[i] = allFinite(ti.train[i])
-		})
-		ti.evaluateBottom(&res.PerCandidate[ti.bottom], st)
+		}); err != nil {
+			return res, err
+		}
+		if err := ti.evaluateBottom(ctx, &res.PerCandidate[ti.bottom], st); err != nil {
+			return res, err
+		}
 	}
 
 	maxDepth := 0
@@ -319,15 +342,17 @@ func (ti *TuneIndex) Evaluate() GridResult {
 
 	arena := &boundArena{}
 	for _, wave := range waves {
-		ti.evaluateWave(wave, shared, arena, res.PerCandidate, st)
+		if err := ti.evaluateWave(ctx, wave, shared, arena, res.PerCandidate, st); err != nil {
+			return res, err
+		}
 	}
-	return res
+	return res, nil
 }
 
 // prepareFamilies computes the shared per-series state of every family
 // with at least two members (a singleton gains nothing over the plain
 // Stateful path).
-func (ti *TuneIndex) prepareFamilies(st *GridStats) map[int][]any {
+func (ti *TuneIndex) prepareFamilies(ctx context.Context, st *GridStats) (map[int][]any, error) {
 	out := map[int][]any{}
 	n := len(ti.train)
 	for fi, f := range ti.families {
@@ -335,17 +360,21 @@ func (ti *TuneIndex) prepareFamilies(st *GridStats) map[int][]any {
 			continue
 		}
 		states := make([]any, n)
+		var err error
 		if f.grid {
 			gs := ti.cands[f.rep].(measure.GridStateful)
-			par.For(n, par.Workers(n), func(i int) { states[i] = gs.GridPrepare(ti.train[i]) })
+			err = par.ForCtx(ctx, n, par.Workers(n), func(i int) { states[i] = gs.GridPrepare(ti.train[i]) })
 		} else {
 			sm := ti.cands[f.rep].(measure.Stateful)
-			par.For(n, par.Workers(n), func(i int) { states[i] = sm.Prepare(ti.train[i]) })
+			err = par.ForCtx(ctx, n, par.Workers(n), func(i int) { states[i] = sm.Prepare(ti.train[i]) })
+		}
+		if err != nil {
+			return out, err
 		}
 		out[fi] = states
 		st.PrepShared += int64(f.members-1) * int64(n)
 	}
-	return out
+	return out, nil
 }
 
 // allFinite reports whether every value of x is finite.
@@ -364,12 +393,12 @@ func allFinite(x []float64) bool {
 // recorded value there is exact and ties resolve to the lowest index
 // either way. The matrix then serves as the per-pair lower bound of every
 // other candidate.
-func (ti *TuneIndex) evaluateBottom(r *Result, st *GridStats) {
+func (ti *TuneIndex) evaluateBottom(ctx context.Context, r *Result, st *GridStats) error {
 	m := ti.cands[ti.bottom]
 	n := len(ti.train)
 	ti.pairD = make([]float64, n*n)
 	workers := par.Workers(n)
-	par.ForShard(n, workers, func(_, i int) {
+	if err := par.ForShardCtx(ctx, n, workers, func(_, i int) {
 		xi := ti.train[i]
 		row := ti.pairD[i*n:]
 		for j := i + 1; j < n; j++ {
@@ -377,10 +406,13 @@ func (ti *TuneIndex) evaluateBottom(r *Result, st *GridStats) {
 			row[j] = d
 			ti.pairD[j*n+i] = d
 		}
-	})
+	}); err != nil {
+		ti.pairD = nil // partially filled: unusable as a bound
+		return err
+	}
 	r.Indices = make([]int, n)
 	r.Distances = make([]float64, n)
-	par.For(n, workers, func(i int) {
+	if err := par.ForCtx(ctx, n, workers, func(i int) {
 		best, bestDist := -1, math.Inf(1)
 		row := ti.pairD[i*n : (i+1)*n]
 		for j, d := range row {
@@ -392,11 +424,14 @@ func (ti *TuneIndex) evaluateBottom(r *Result, st *GridStats) {
 			}
 		}
 		r.Indices[i], r.Distances[i] = best, bestDist
-	})
+	}); err != nil {
+		return err
+	}
 	pairs := int64(n) * int64(n-1) / 2
 	r.Stats = Stats{Pairs: pairs, FullDist: pairs}
 	st.Rows += int64(n)
 	st.Search.add(r.Stats)
+	return nil
 }
 
 // boundArena recycles bound-context slices across BoundSharing candidates:
@@ -468,8 +503,11 @@ type looLocal struct {
 
 // evaluateWave evaluates one dependency wave: per-series setup and the row
 // scans of every candidate in the wave, each through a single pooled
-// dispatch over flattened (candidate, chunk) items.
-func (ti *TuneIndex) evaluateWave(wave []int, shared map[int][]any, arena *boundArena, out []Result, st *GridStats) {
+// dispatch over flattened (candidate, chunk) items. On cancellation the
+// wave's candidates are left as zero Results (partial worker-local scans
+// are never merged — a half-scanned row would not be exact) and the
+// context error is returned.
+func (ti *TuneIndex) evaluateWave(ctx context.Context, wave []int, shared map[int][]any, arena *boundArena, out []Result, st *GridStats) error {
 	n := len(ti.train)
 	evals := make([]*candEval, len(wave))
 	for w, k := range wave {
@@ -512,11 +550,13 @@ func (ti *TuneIndex) evaluateWave(wave []int, shared map[int][]any, arena *bound
 	}
 	if len(setupCands) > 0 {
 		total := len(setupCands) * n
-		par.For(total, par.Workers(total), func(item int) {
+		if err := par.ForCtx(ctx, total, par.Workers(total), func(item int) {
 			ce := setupCands[item/n]
 			i := item % n
 			ce.setupSeries(ti.train, i, shared[ti.famOf[ce.k]])
-		})
+		}); err != nil {
+			return err
+		}
 	}
 
 	// Scan pool: (candidate, row chunk) items through one dispatch.
@@ -530,7 +570,7 @@ func (ti *TuneIndex) evaluateWave(wave []int, shared map[int][]any, arena *bound
 	items := len(wave) * chunksPerCand
 	locals := make([][]*looLocal, workers)
 	queriers := make([][]*Querier, workers)
-	par.ForShard(items, workers, func(worker, item int) {
+	scanErr := par.ForShardCtx(ctx, items, workers, func(worker, item int) {
 		w := item / chunksPerCand
 		c := item % chunksPerCand
 		lo := c * chunk
@@ -571,6 +611,17 @@ func (ti *TuneIndex) evaluateWave(wave []int, shared map[int][]any, arena *bound
 		}
 	})
 
+	if scanErr != nil {
+		// Do not merge: worker locals may hold rows whose scan was cut
+		// short mid-candidate. Scan-path rows already written to out are
+		// exact but incomplete; zero the wave so callers see all-or-nothing
+		// per candidate.
+		for _, ce := range evals {
+			out[ce.k] = Result{}
+		}
+		return scanErr
+	}
+
 	// Finalize: merge halved locals (with cold repair of unresolved primed
 	// rows), gather counters, release arena entries.
 	for w, ce := range evals {
@@ -600,6 +651,7 @@ func (ti *TuneIndex) evaluateWave(wave []int, shared map[int][]any, arena *bound
 			arena.checkin(&arenaEntry{ctxs: ce.ctxs}, ce.m, true)
 		}
 	}
+	return nil
 }
 
 // newScanIndex builds the Index of a scan-path candidate without its

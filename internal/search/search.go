@@ -12,9 +12,17 @@
 // to the lowest reference index — are identical to exhaustive matrix
 // evaluation. Lower bounds only skip candidates that provably cannot beat
 // the incumbent, and abandoned computations only certify d >= cutoff.
+//
+// Every entry point has a context-aware variant (OneNNCtx, LeaveOneOutCtx,
+// LeaveOneOutGridCtx) that observes cancellation at the dispatch chunk
+// granularity of internal/par and returns ctx.Err() together with whatever
+// partial per-query results were completed; the plain variants are thin
+// wrappers over a background context and remain bitwise-identical to their
+// pre-context behavior.
 package search
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/measure"
@@ -40,7 +48,9 @@ func (s *Stats) add(o Stats) {
 
 // Result is the outcome of OneNN or LeaveOneOut: per-query nearest
 // reference indices (-1 when there are no candidates) and their sanitized
-// distances, plus aggregate work counters.
+// distances, plus aggregate work counters. When the context-aware variants
+// return an error, rows whose chunk never ran hold the zero values (index
+// 0, distance 0) — the caller must treat the whole Result as partial.
 type Result struct {
 	Indices   []int
 	Distances []float64
@@ -66,6 +76,13 @@ type Index struct {
 // is used; otherwise a Stateful measure's prepared fast path; otherwise
 // plain Distance calls (with early abandoning when available).
 func NewIndex(m measure.Measure, refs [][]float64) *Index {
+	ix, _ := NewIndexCtx(context.Background(), m, refs)
+	return ix
+}
+
+// NewIndexCtx is NewIndex honoring cancellation during the parallel
+// per-reference preparation; on a non-nil error the index is unusable.
+func NewIndexCtx(ctx context.Context, m measure.Measure, refs [][]float64) (*Index, error) {
 	ix := &Index{m: m, refs: refs}
 	if ea, ok := m.(measure.EarlyAbandoning); ok {
 		ix.ea = ea
@@ -73,19 +90,23 @@ func NewIndex(m measure.Measure, refs [][]float64) *Index {
 	if lb, ok := m.(measure.LowerBounded); ok {
 		ix.lb = lb
 		ix.rctx = make([]measure.BoundContext, len(refs))
-		par.For(len(refs), par.Workers(len(refs)), func(i int) {
+		if err := par.ForCtx(ctx, len(refs), par.Workers(len(refs)), func(i int) {
 			c := lb.NewBoundContext(len(refs[i]))
 			c.Fill(refs[i])
 			ix.rctx[i] = c
-		})
+		}); err != nil {
+			return nil, err
+		}
 	} else if sm, ok := m.(measure.Stateful); ok {
 		ix.sm = sm
 		ix.rprep = make([]any, len(refs))
-		par.For(len(refs), par.Workers(len(refs)), func(i int) {
+		if err := par.ForCtx(ctx, len(refs), par.Workers(len(refs)), func(i int) {
 			ix.rprep[i] = sm.Prepare(refs[i])
-		})
+		}); err != nil {
+			return nil, err
+		}
 	}
-	return ix
+	return ix, nil
 }
 
 // Querier runs queries against an Index, owning the per-worker reusable
@@ -185,18 +206,30 @@ func (q *Querier) search(x []float64, skip int) (int, float64) {
 // matrix-free replacement for eval.Matrix + argmin. Neighbors are
 // identical to exhaustive evaluation, including tie-breaking.
 func OneNN(m measure.Measure, queries, refs [][]float64) Result {
-	return searchAll(NewIndex(m, refs), queries, false)
+	res, _ := OneNNCtx(context.Background(), m, queries, refs)
+	return res
 }
 
-// searchAll runs per-query searches across workers, each with its own
+// OneNNCtx is OneNN honoring cancellation: a cancelled search stops within
+// one dispatch chunk per worker and returns ctx.Err() alongside the
+// partial Result.
+func OneNNCtx(ctx context.Context, m measure.Measure, queries, refs [][]float64) (Result, error) {
+	ix, err := NewIndexCtx(ctx, m, refs)
+	if err != nil {
+		return Result{}, err
+	}
+	return searchAllCtx(ctx, ix, queries, false)
+}
+
+// searchAllCtx runs per-query searches across workers, each with its own
 // Querier; skipDiag excludes reference i from query i (queries and refs
 // must then be the same slice).
-func searchAll(ix *Index, queries [][]float64, skipDiag bool) Result {
+func searchAllCtx(ctx context.Context, ix *Index, queries [][]float64, skipDiag bool) (Result, error) {
 	n := len(queries)
 	res := Result{Indices: make([]int, n), Distances: make([]float64, n)}
 	workers := par.Workers(n)
 	queriers := make([]*Querier, workers)
-	par.ForShard(n, workers, func(w, i int) {
+	err := par.ForShardCtx(ctx, n, workers, func(w, i int) {
 		q := queriers[w]
 		if q == nil {
 			q = ix.Querier()
@@ -213,7 +246,7 @@ func searchAll(ix *Index, queries [][]float64, skipDiag bool) Result {
 			res.Stats.add(q.Stats)
 		}
 	}
-	return res
+	return res, err
 }
 
 // LeaveOneOut finds each training series' nearest other training series —
@@ -221,10 +254,21 @@ func searchAll(ix *Index, queries [][]float64, skipDiag bool) Result {
 // symmetric measures take the halved path evaluating each unordered pair
 // once; results are identical to exhaustive evaluation either way.
 func LeaveOneOut(m measure.Measure, train [][]float64) Result {
+	res, _ := LeaveOneOutCtx(context.Background(), m, train)
+	return res
+}
+
+// LeaveOneOutCtx is LeaveOneOut honoring cancellation; see OneNNCtx for
+// the partial-result contract.
+func LeaveOneOutCtx(ctx context.Context, m measure.Measure, train [][]float64) (Result, error) {
 	if halvedEligible(m) {
-		return looHalved(m, train)
+		return looHalvedCtx(ctx, m, train)
 	}
-	return searchAll(NewIndex(m, train), train, true)
+	ix, err := NewIndexCtx(ctx, m, train)
+	if err != nil {
+		return Result{}, err
+	}
+	return searchAllCtx(ctx, ix, train, true)
 }
 
 // halvedEligible reports whether leave-one-out evaluation of m takes the
@@ -237,7 +281,7 @@ func halvedEligible(m measure.Measure) bool {
 	return measure.IsSymmetric(m) && (bounded || !stateful)
 }
 
-// looHalved evaluates each unordered training pair once. Every worker
+// looHalvedCtx evaluates each unordered training pair once. Every worker
 // keeps private best arrays; pair (i, j) is examined with the cutoff
 // max(best_i, best_j), so a pruned or abandoned computation certifies that
 // neither row can improve. Within a worker, contributions to any row
@@ -245,18 +289,20 @@ func halvedEligible(m measure.Measure) bool {
 // order and row i's own scan ascends), and the final cross-worker merge
 // takes the lexicographic (distance, index) minimum — together this
 // reproduces exhaustive first-lowest-index tie-breaking exactly.
-func looHalved(m measure.Measure, train [][]float64) Result {
+func looHalvedCtx(ctx context.Context, m measure.Measure, train [][]float64) (Result, error) {
 	n := len(train)
 	lb, _ := m.(measure.LowerBounded)
 	ea, _ := m.(measure.EarlyAbandoning)
 	var ctxs []measure.BoundContext
 	if lb != nil {
 		ctxs = make([]measure.BoundContext, n)
-		par.For(n, par.Workers(n), func(i int) {
+		if err := par.ForCtx(ctx, n, par.Workers(n), func(i int) {
 			c := lb.NewBoundContext(len(train[i]))
 			c.Fill(train[i])
 			ctxs[i] = c
-		})
+		}); err != nil {
+			return Result{}, err
+		}
 	}
 	workers := par.Workers(n)
 	type local struct {
@@ -265,7 +311,7 @@ func looHalved(m measure.Measure, train [][]float64) Result {
 		stats Stats
 	}
 	locals := make([]*local, workers)
-	par.ForShard(n, workers, func(w, i int) {
+	err := par.ForShardCtx(ctx, n, workers, func(w, i int) {
 		l := locals[w]
 		if l == nil {
 			l = &local{dist: make([]float64, n), idx: make([]int, n)}
@@ -328,5 +374,5 @@ func looHalved(m measure.Measure, train [][]float64) Result {
 			res.Stats.add(l.stats)
 		}
 	}
-	return res
+	return res, err
 }
