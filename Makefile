@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check-race oracle oracle-long bench golden smoke check
+.PHONY: build test vet race check-race oracle oracle-long bench bench-compare golden smoke check
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,11 @@ vet:
 race:
 	$(GO) test -race ./internal/par ./internal/eval ./internal/search
 
-# Race-check the spectral engine's tiled dispatch: the parallel Gram
-# fill/mirroring in internal/kernel and the parallel embedding fits.
+# Race-check the spectral engine's tiled dispatch (the parallel Gram
+# fill/mirroring in internal/kernel and the parallel embedding fits) and
+# the wavefront DP scheduler plus the batched panel kernels.
 check-race:
-	$(GO) test -race ./internal/par ./internal/search ./internal/kernel ./internal/embedding
+	GOMAXPROCS=4 $(GO) test -race ./internal/par ./internal/search ./internal/kernel ./internal/embedding ./internal/elastic ./internal/lockstep
 
 # Differential oracle harness under the race detector: every measure
 # against its reference implementation plus both search engines against
@@ -32,12 +33,27 @@ oracle-long:
 	$(GO) test ./internal/oracle -run Oracle -oracle.long
 
 # Smoke-run every benchmark once, then measure the grid tuning benchmarks
-# for real (per-candidate loop vs grid engine, with allocation counts) and
-# record them as BENCH_tuning.json via cmd/benchjson.
+# (per-candidate loop vs grid engine), the spectral engine, and the
+# hot-loop kernels (scalar DP vs wavefront, per-pair vs batched panel)
+# with allocation counts, recording each set via cmd/benchjson.
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem ./...
 	$(GO) test -bench BenchmarkGridTuning -benchmem ./internal/search | $(GO) run ./cmd/benchjson -o BENCH_tuning.json
 	$(GO) test -bench 'BenchmarkGram|BenchmarkEigenSym' -benchmem ./internal/kernel ./internal/linalg | $(GO) run ./cmd/benchjson -o BENCH_spectral.json
+	$(GO) test -bench BenchmarkHotloops -benchmem ./internal/elastic ./internal/lockstep | $(GO) run ./cmd/benchjson -o BENCH_hotloops.json
+
+# Re-measure every committed BENCH_* baseline and fail (benchstat-style)
+# when any benchmark's ns/op regressed by more than 5%. Run after changes
+# to the hot loops or engines; `make bench` refreshes the baselines when a
+# change is intentional. Too slow (and too machine-dependent) for the
+# default `make check` gate — run it explicitly on perf-sensitive PRs.
+bench-compare:
+	$(GO) test -bench BenchmarkGridTuning -benchmem ./internal/search | $(GO) run ./cmd/benchjson -o /tmp/bench_new_tuning.json
+	$(GO) run ./cmd/benchcompare -old BENCH_tuning.json -new /tmp/bench_new_tuning.json -threshold 5
+	$(GO) test -bench 'BenchmarkGram|BenchmarkEigenSym' -benchmem ./internal/kernel ./internal/linalg | $(GO) run ./cmd/benchjson -o /tmp/bench_new_spectral.json
+	$(GO) run ./cmd/benchcompare -old BENCH_spectral.json -new /tmp/bench_new_spectral.json -threshold 5
+	$(GO) test -bench BenchmarkHotloops -benchmem ./internal/elastic ./internal/lockstep | $(GO) run ./cmd/benchjson -o /tmp/bench_new_hotloops.json
+	$(GO) run ./cmd/benchcompare -old BENCH_hotloops.json -new /tmp/bench_new_hotloops.json -threshold 5
 
 # Regenerate the golden experiment outputs after an intentional change to
 # a measure, engine, or renderer; commit the resulting diff.
@@ -50,5 +66,7 @@ golden:
 smoke:
 	$(GO) test ./cmd/tsbench -run TestSmokeCancellation -smoke -v
 
-# CI entry point: everything that must be green before merging.
+# CI entry point: everything that must be green before merging. Perf-
+# sensitive changes should additionally run `make bench-compare` against
+# the committed BENCH_* baselines (see the bench-compare target above).
 check: build vet test race check-race oracle

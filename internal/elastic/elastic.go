@@ -8,11 +8,37 @@
 package elastic
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/measure"
 )
+
+// rowScratch pools the two DP rows shared by the scalar elastic
+// recurrences (LCSS, EDR, ERP, MSM, TWE, Swale), so warm Distance calls
+// are allocation-free like DTW's dtwPool path. Contents are unspecified on
+// Get; every recurrence fully initializes the cells it reads.
+type rowScratch struct{ prev, cur []float64 }
+
+var rowPool = sync.Pool{New: func() any { return new(rowScratch) }}
+
+// getRows returns a pooled scratch holder and its two rows resized to n.
+func getRows(n int) (*rowScratch, []float64, []float64) {
+	s := rowPool.Get().(*rowScratch)
+	if cap(s.prev) < n {
+		s.prev = make([]float64, n)
+		s.cur = make([]float64, n)
+	}
+	return s, s.prev[:n], s.cur[:n]
+}
+
+// release returns the (possibly swapped) rows to the pool.
+func (s *rowScratch) release(prev, cur []float64) {
+	s.prev, s.cur = prev, cur
+	rowPool.Put(s)
+}
 
 // windowSize converts a Sakoe-Chiba window expressed as a percentage of the
 // series length (the paper's convention: delta = 10 means 10% of m;
@@ -45,8 +71,15 @@ func (d DTW) Name() string { return fmt.Sprintf("dtw[d=%d]", d.DeltaPercent) }
 // bitwise.
 func (d DTW) Symmetric() bool { return true }
 
-// Distance implements measure.Measure.
+// Distance implements measure.Measure. Long series on multi-core machines
+// route through the blocked wavefront engine (bitwise-identical, see
+// DistanceWavefront); everything else takes the scalar two-row DP.
 func (d DTW) Distance(x, y []float64) float64 {
+	if wavefrontEligible(len(x)) {
+		if v, err := d.DistanceWavefront(context.Background(), x, y); err == nil {
+			return v
+		}
+	}
 	return d.DistanceUpTo(x, y, math.Inf(1))
 }
 
@@ -76,16 +109,26 @@ func (l LCSS) Name() string { return fmt.Sprintf("lcss[d=%d,e=%g]", l.DeltaPerce
 // Symmetric implements measure.Symmetric.
 func (l LCSS) Symmetric() bool { return true }
 
-// Distance implements measure.Measure.
+// Distance implements measure.Measure. Long series on multi-core machines
+// route through the blocked wavefront engine (bitwise-identical).
 func (l LCSS) Distance(x, y []float64) float64 {
+	if wavefrontEligible(len(x)) {
+		if v, err := l.DistanceWavefront(context.Background(), x, y); err == nil {
+			return v
+		}
+	}
 	measure.CheckSameLength(x, y)
 	m := len(x)
 	if m == 0 {
 		return 0
 	}
 	w := windowSize(l.DeltaPercent, m)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	s, prev, cur := getRows(m + 1)
+	// Row 0 of the DP is all zeros; pooled rows arrive dirty, so clear it
+	// (the in-band loop plus fringe clearing covers every later read).
+	for j := range prev {
+		prev[j] = 0
+	}
 	for i := 1; i <= m; i++ {
 		lo := i - w
 		if lo < 1 {
@@ -113,7 +156,9 @@ func (l LCSS) Distance(x, y []float64) float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return 1 - prev[m]/float64(m)
+	res := 1 - prev[m]/float64(m)
+	s.release(prev, cur)
+	return res
 }
 
 // EDR is the Edit Distance on Real sequence: a unit-cost edit distance
@@ -130,12 +175,17 @@ func (e EDR) Name() string { return fmt.Sprintf("edr[e=%g]", e.Epsilon) }
 // Symmetric implements measure.Symmetric.
 func (e EDR) Symmetric() bool { return true }
 
-// Distance implements measure.Measure.
+// Distance implements measure.Measure. Long series on multi-core machines
+// route through the blocked wavefront engine (bitwise-identical).
 func (e EDR) Distance(x, y []float64) float64 {
+	if wavefrontEligible(len(x)) {
+		if v, err := e.DistanceWavefront(context.Background(), x, y); err == nil {
+			return v
+		}
+	}
 	measure.CheckSameLength(x, y)
 	m := len(x)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	s, prev, cur := getRows(m + 1)
 	for j := 0; j <= m; j++ {
 		prev[j] = float64(j)
 	}
@@ -157,7 +207,9 @@ func (e EDR) Distance(x, y []float64) float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m]
+	res := prev[m]
+	s.release(prev, cur)
+	return res
 }
 
 // ERP is the Edit distance with Real Penalty: gaps are penalized by the
@@ -174,12 +226,17 @@ func (e ERP) Name() string { return "erp" }
 // Symmetric implements measure.Symmetric.
 func (e ERP) Symmetric() bool { return true }
 
-// Distance implements measure.Measure.
+// Distance implements measure.Measure. Long series on multi-core machines
+// route through the blocked wavefront engine (bitwise-identical).
 func (e ERP) Distance(x, y []float64) float64 {
+	if wavefrontEligible(len(x)) {
+		if v, err := e.DistanceWavefront(context.Background(), x, y); err == nil {
+			return v
+		}
+	}
 	measure.CheckSameLength(x, y)
 	m := len(x)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	s, prev, cur := getRows(m + 1)
 	prev[0] = 0
 	for j := 1; j <= m; j++ {
 		prev[j] = prev[j-1] + math.Abs(y[j-1]-e.G)
@@ -194,7 +251,9 @@ func (e ERP) Distance(x, y []float64) float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m]
+	res := prev[m]
+	s.release(prev, cur)
+	return res
 }
 
 // MSM is the Move-Split-Merge distance (Stefan, Athitsos, Das 2013): an
@@ -220,15 +279,20 @@ func (m MSM) msmCost(newPoint, a, b float64) float64 {
 	return m.C + math.Min(math.Abs(newPoint-a), math.Abs(newPoint-b))
 }
 
-// Distance implements measure.Measure.
+// Distance implements measure.Measure. Long series on multi-core machines
+// route through the blocked wavefront engine (bitwise-identical).
 func (m MSM) Distance(x, y []float64) float64 {
+	if wavefrontEligible(len(x)) {
+		if v, err := m.DistanceWavefront(context.Background(), x, y); err == nil {
+			return v
+		}
+	}
 	measure.CheckSameLength(x, y)
 	n := len(x)
 	if n == 0 {
 		return 0
 	}
-	prev := make([]float64, n)
-	cur := make([]float64, n)
+	s, prev, cur := getRows(n)
 	prev[0] = math.Abs(x[0] - y[0])
 	for j := 1; j < n; j++ {
 		prev[j] = prev[j-1] + m.msmCost(y[j], x[0], y[j-1])
@@ -243,7 +307,9 @@ func (m MSM) Distance(x, y []float64) float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev[n-1]
+	res := prev[n-1]
+	s.release(prev, cur)
+	return res
 }
 
 // TWE is the Time Warp Edit distance (Marteau 2009): an elastic metric
@@ -261,40 +327,55 @@ func (t TWE) Name() string { return fmt.Sprintf("twe[l=%g,n=%g]", t.Lambda, t.Nu
 // Symmetric implements measure.Symmetric.
 func (t TWE) Symmetric() bool { return true }
 
-// Distance implements measure.Measure.
+// Distance implements measure.Measure. Long series on multi-core machines
+// route through the blocked wavefront engine (bitwise-identical).
 func (t TWE) Distance(x, y []float64) float64 {
+	if wavefrontEligible(len(x)) {
+		if v, err := t.DistanceWavefront(context.Background(), x, y); err == nil {
+			return v
+		}
+	}
 	measure.CheckSameLength(x, y)
 	m := len(x)
 	if m == 0 {
 		return 0
 	}
-	// Pad with a leading zero sample at time 0, the reference treatment.
-	xp := make([]float64, m+1)
-	yp := make([]float64, m+1)
-	copy(xp[1:], x)
-	copy(yp[1:], y)
+	// The reference treatment pads both series with a leading zero sample at
+	// time 0; the pad is realized by index arithmetic (xi/xim, yj/yjm below)
+	// instead of copies, so warm calls stay allocation-free.
 	inf := math.Inf(1)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	s, prev, cur := getRows(m + 1)
 	for j := range prev {
 		prev[j] = inf
 	}
 	prev[0] = 0
 	for i := 1; i <= m; i++ {
 		cur[0] = inf // only column 0 is read before being written
+		xi := x[i-1] // xp[i]
+		xim := 0.0   // xp[i-1]: the pad sample when i == 1
+		if i > 1 {
+			xim = x[i-2]
+		}
 		for j := 1; j <= m; j++ {
+			yj := y[j-1]
+			yjm := 0.0
+			if j > 1 {
+				yjm = y[j-2]
+			}
 			// Delete in x: advance i only.
-			delA := prev[j] + math.Abs(xp[i]-xp[i-1]) + t.Nu + t.Lambda
+			delA := prev[j] + math.Abs(xi-xim) + t.Nu + t.Lambda
 			// Delete in y: advance j only.
-			delB := cur[j-1] + math.Abs(yp[j]-yp[j-1]) + t.Nu + t.Lambda
+			delB := cur[j-1] + math.Abs(yj-yjm) + t.Nu + t.Lambda
 			// Match: advance both, with stiffness on the time difference.
-			match := prev[j-1] + math.Abs(xp[i]-yp[j]) + math.Abs(xp[i-1]-yp[j-1]) +
+			match := prev[j-1] + math.Abs(xi-yj) + math.Abs(xim-yjm) +
 				2*t.Nu*math.Abs(float64(i-j))
 			cur[j] = math.Min(match, math.Min(delA, delB))
 		}
 		prev, cur = cur, prev
 	}
-	return prev[m]
+	res := prev[m]
+	s.release(prev, cur)
+	return res
 }
 
 // Swale is the Sequence Weighted Alignment model (Morse & Patel 2007): a
@@ -316,8 +397,7 @@ func (s Swale) Symmetric() bool { return true }
 func (s Swale) Distance(x, y []float64) float64 {
 	measure.CheckSameLength(x, y)
 	m := len(x)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	sc, prev, cur := getRows(m + 1)
 	for j := 0; j <= m; j++ {
 		prev[j] = -s.P * float64(j)
 	}
@@ -332,7 +412,9 @@ func (s Swale) Distance(x, y []float64) float64 {
 		}
 		prev, cur = cur, prev
 	}
-	return -prev[m]
+	res := -prev[m]
+	sc.release(prev, cur)
+	return res
 }
 
 // All returns one representative instance of each of the 7 elastic

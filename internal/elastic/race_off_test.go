@@ -1,0 +1,6 @@
+//go:build !race
+
+package elastic
+
+// raceEnabled mirrors the race detector state for tests.
+const raceEnabled = false

@@ -1,0 +1,228 @@
+package elastic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// wavefronter is the surface shared by the six blocked elastic measures.
+type wavefronter interface {
+	Name() string
+	Distance(x, y []float64) float64
+	DistanceWavefront(ctx context.Context, x, y []float64) (float64, error)
+}
+
+// table4Epsilons mirrors eval's epsilonGrid (Table 4); the eval package
+// cannot be imported here without a cycle.
+var table4Epsilons = []float64{
+	0.001, 0.003, 0.005, 0.007, 0.009, 0.01, 0.03, 0.05,
+	0.07, 0.09, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1,
+}
+
+// table4Wavefronters enumerates every Table-4 grid point of the six
+// wavefront-capable elastic measures.
+func table4Wavefronters() []wavefronter {
+	var ms []wavefronter
+	for _, c := range []float64{0.01, 0.1, 1, 10, 100, 0.05, 0.5, 5, 50, 500} {
+		ms = append(ms, MSM{C: c})
+	}
+	for _, l := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		for _, n := range []float64{0.00001, 0.0001, 0.001, 0.01, 0.1, 1} {
+			ms = append(ms, TWE{Lambda: l, Nu: n})
+		}
+	}
+	for d := 0; d <= 20; d++ {
+		ms = append(ms, DTW{DeltaPercent: d})
+	}
+	ms = append(ms, DTW{DeltaPercent: 100})
+	for _, e := range table4Epsilons {
+		ms = append(ms, EDR{Epsilon: e})
+	}
+	ms = append(ms, ERP{G: 0})
+	for _, d := range []int{5, 10} {
+		for _, e := range table4Epsilons {
+			ms = append(ms, LCSS{DeltaPercent: d, Epsilon: e})
+		}
+	}
+	return ms
+}
+
+// wfSeries draws a test series whose values repeat often enough to exercise
+// the epsilon-tie branches of LCSS/EDR and the interval branch of msmCost.
+func wfSeries(rng *rand.Rand, n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		switch rng.Intn(4) {
+		case 0:
+			s[i] = math.Round(rng.NormFloat64()*4) / 4 // coarse grid: exact ties
+		default:
+			s[i] = rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+// TestWavefrontBitwiseScalar is the exactness property test of the issue:
+// the blocked wavefront path must be bitwise-identical to the scalar DP for
+// every Table-4 grid point, across lengths that exercise single-block,
+// ragged-edge, and multi-diagonal schedules.
+func TestWavefrontBitwiseScalar(t *testing.T) {
+	defer func(b int) { wfBlock = b }(wfBlock)
+	rng := rand.New(rand.NewSource(61))
+	for _, block := range []int{8, 256} {
+		wfBlock = block
+		for _, n := range []int{1, 2, 3, 7, 8, 9, 33, 64} {
+			x, y := wfSeries(rng, n), wfSeries(rng, n)
+			for _, m := range table4Wavefronters() {
+				want := m.Distance(x, y)
+				got, err := m.DistanceWavefront(context.Background(), x, y)
+				if err != nil {
+					t.Fatalf("%s block=%d n=%d: %v", m.Name(), block, n, err)
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s block=%d n=%d: wavefront %v != scalar %v",
+						m.Name(), block, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWavefrontEmpty: zero-length series take the measure's empty-input
+// shortcut on both paths.
+func TestWavefrontEmpty(t *testing.T) {
+	for _, m := range []wavefronter{DTW{DeltaPercent: 10}, LCSS{DeltaPercent: 5, Epsilon: 0.2},
+		EDR{Epsilon: 0.1}, ERP{}, MSM{C: 0.5}, TWE{Lambda: 1, Nu: 0.0001}} {
+		got, err := m.DistanceWavefront(context.Background(), nil, nil)
+		if err != nil || got != m.Distance(nil, nil) {
+			t.Fatalf("%s: empty input gave (%v, %v)", m.Name(), got, err)
+		}
+	}
+}
+
+// TestWavefrontPreCancelled: a cancelled context stops the run before any
+// block and surfaces context.Canceled through every measure's wrapper.
+func TestWavefrontPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(7))
+	x, y := wfSeries(rng, 600), wfSeries(rng, 600)
+	defer func(b int) { wfBlock = b }(wfBlock)
+	wfBlock = 64
+	for _, m := range []wavefronter{DTW{DeltaPercent: 100}, LCSS{DeltaPercent: 10, Epsilon: 0.2},
+		EDR{Epsilon: 0.1}, ERP{}, MSM{C: 0.5}, TWE{Lambda: 1, Nu: 0.0001}} {
+		if _, err := m.DistanceWavefront(ctx, x, y); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", m.Name(), err)
+		}
+	}
+}
+
+// TestWavefrontCancelDuringRun races a concurrent cancel against a long
+// run: whichever wins, the call must either report the cancellation or
+// return the exact scalar result — never a torn value.
+func TestWavefrontCancelDuringRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x, y := wfSeries(rng, 2048), wfSeries(rng, 2048)
+	d := DTW{DeltaPercent: 100}
+	want := d.DistanceUpTo(x, y, math.Inf(1))
+	defer func(b int) { wfBlock = b }(wfBlock)
+	wfBlock = 64
+	for _, delay := range []time.Duration{0, 50 * time.Microsecond, 2 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func(after time.Duration) {
+			time.Sleep(after)
+			cancel()
+		}(delay)
+		got, err := d.DistanceWavefront(ctx, x, y)
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("delay=%v: err = %v, want context.Canceled", delay, err)
+			}
+		} else if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("delay=%v: uncancelled run returned %v, want %v", delay, got, want)
+		}
+		cancel()
+	}
+}
+
+// TestElasticDistanceAllocFree pins the satellite fix: every scalar elastic
+// Distance runs allocation-free once the row pool is warm (DTW already did
+// through dtwPool; MSM and TWE used to allocate fresh rows per call).
+func TestElasticDistanceAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under -race; allocation counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(5))
+	x, y := wfSeries(rng, 128), wfSeries(rng, 128)
+	measures := []interface {
+		Name() string
+		Distance(x, y []float64) float64
+	}{
+		DTW{DeltaPercent: 10}, LCSS{DeltaPercent: 5, Epsilon: 0.2}, EDR{Epsilon: 0.1},
+		ERP{}, MSM{C: 0.5}, TWE{Lambda: 1, Nu: 0.0001}, Swale{Epsilon: 0.2, P: 5, R: 1},
+	}
+	for _, m := range measures {
+		m.Distance(x, y) // warm the pool
+		if allocs := testing.AllocsPerRun(50, func() { m.Distance(x, y) }); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op warm, want 0", m.Name(), allocs)
+		}
+	}
+}
+
+// Benchmarks for the scalar-vs-wavefront crossover; make bench records them
+// into BENCH_hotloops.json.
+func benchSeries(n int) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(3))
+	return wfSeries(rng, n), wfSeries(rng, n)
+}
+
+func BenchmarkHotloopsDTWScalar(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		x, y := benchSeries(n)
+		d := DTW{DeltaPercent: 10}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d.DistanceUpTo(x, y, math.Inf(1))
+			}
+		})
+	}
+}
+
+func BenchmarkHotloopsDTWWavefront(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		x, y := benchSeries(n)
+		d := DTW{DeltaPercent: 10}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.DistanceWavefront(context.Background(), x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHotloopsMSMDistance(b *testing.B) {
+	x, y := benchSeries(256)
+	m := MSM{C: 0.5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Distance(x, y)
+	}
+}
+
+func BenchmarkHotloopsTWEDistance(b *testing.B) {
+	x, y := benchSeries(256)
+	tw := TWE{Lambda: 1, Nu: 0.0001}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tw.Distance(x, y)
+	}
+}

@@ -14,6 +14,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/measure"
@@ -75,6 +76,33 @@ func MatrixCtx(ctx context.Context, m measure.Measure, queries, refs [][]float64
 			}); err != nil {
 				return e, err
 			}
+			return e, nil
+		}
+	}
+
+	// Batched panel fast path: a PanelEvaluator fills each matrix row in one
+	// call over the whole reference panel, bitwise-identical to the per-pair
+	// loop by the contract; only the NaN sanitization stays on this side. If
+	// any row declines (ragged lengths), the whole matrix falls through to
+	// the generic paths below and every row is recomputed per-pair.
+	if pe, ok := m.(measure.PanelEvaluator); ok {
+		var declined atomic.Bool
+		if err := par.ForCtx(ctx, n, workers, func(i int) {
+			if declined.Load() {
+				return
+			}
+			row := e[i]
+			if !pe.PanelDistances(queries[i], refs, row) {
+				declined.Store(true)
+				return
+			}
+			for j, v := range row {
+				row[j] = measure.Sanitize(v)
+			}
+		}); err != nil {
+			return e, err
+		}
+		if !declined.Load() {
 			return e, nil
 		}
 	}

@@ -87,4 +87,6 @@ func init() {
 		TuningAblationCtx, RenderTuning)
 	register("spectral", "naive vs batched spectral/linalg engine ablation",
 		SpectralRuntimeCtx, RenderSpectral)
+	register("hotloops", "scalar DP and per-pair loops vs wavefront/panel engines",
+		HotloopsAblationCtx, RenderHotloops)
 }

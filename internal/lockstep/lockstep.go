@@ -25,27 +25,49 @@ import (
 // ---- L_p Minkowski family ----
 //
 
-// Euclidean returns the L2-norm distance, the paper's lock-step baseline.
-func Euclidean() measure.Func {
-	return measure.New("euclidean", func(x, y []float64) float64 {
-		var s float64
-		for i := range x {
-			d := x[i] - y[i]
-			s += d * d
-		}
-		return math.Sqrt(s)
-	})
+// Euclidean returns the L2-norm distance, the paper's lock-step baseline,
+// as a Panel: batched panel evaluation plus early abandoning on the
+// running sum of squares.
+func Euclidean() Panel {
+	return Panel{
+		name: "euclidean",
+		dist: func(x, y []float64) float64 {
+			var s float64
+			for i := range x {
+				d := x[i] - y[i]
+				s += d * d
+			}
+			return math.Sqrt(s)
+		},
+		distUpTo: func(x, y []float64, cutoff float64) float64 {
+			return sumSqUpTo(x, y, cutoff, math.Sqrt)
+		},
+		panelAll: func(q []float64, panel [][]float64, out []float64) {
+			panelSumSqUpTo(q, panel, math.Inf(1), out, math.Sqrt)
+		},
+		panelUpTo: func(q []float64, panel [][]float64, cutoff float64, out []float64) {
+			panelSumSqUpTo(q, panel, cutoff, out, math.Sqrt)
+		},
+	}
 }
 
-// Manhattan returns the L1-norm (city block) distance.
-func Manhattan() measure.Func {
-	return measure.New("manhattan", func(x, y []float64) float64 {
-		var s float64
-		for i := range x {
-			s += math.Abs(x[i] - y[i])
-		}
-		return s
-	})
+// Manhattan returns the L1-norm (city block) distance as a Panel.
+func Manhattan() Panel {
+	return Panel{
+		name: "manhattan",
+		dist: func(x, y []float64) float64 {
+			var s float64
+			for i := range x {
+				s += math.Abs(x[i] - y[i])
+			}
+			return s
+		},
+		distUpTo: sumAbsUpTo,
+		panelAll: func(q []float64, panel [][]float64, out []float64) {
+			panelSumAbsUpTo(q, panel, math.Inf(1), out)
+		},
+		panelUpTo: panelSumAbsUpTo,
+	}
 }
 
 // Minkowski returns the L_p-norm distance; p is the only lock-step
@@ -60,17 +82,25 @@ func Minkowski(p float64) measure.Func {
 	})
 }
 
-// Chebyshev returns the L_inf-norm distance.
-func Chebyshev() measure.Func {
-	return measure.New("chebyshev", func(x, y []float64) float64 {
-		var m float64
-		for i := range x {
-			if d := math.Abs(x[i] - y[i]); d > m {
-				m = d
+// Chebyshev returns the L_inf-norm distance as a Panel.
+func Chebyshev() Panel {
+	return Panel{
+		name: "chebyshev",
+		dist: func(x, y []float64) float64 {
+			var m float64
+			for i := range x {
+				if d := math.Abs(x[i] - y[i]); d > m {
+					m = d
+				}
 			}
-		}
-		return m
-	})
+			return m
+		},
+		distUpTo: maxAbsUpTo,
+		panelAll: func(q []float64, panel [][]float64, out []float64) {
+			panelMaxAbsUpTo(q, panel, math.Inf(1), out)
+		},
+		panelUpTo: panelMaxAbsUpTo,
+	}
 }
 
 //
@@ -138,14 +168,22 @@ func Canberra() measure.Func {
 
 // Lorentzian returns sum ln(1 + |x-y|), the natural logarithm of L1 — the
 // measure the paper identifies as the new lock-step state of the art.
-func Lorentzian() measure.Func {
-	return measure.New("lorentzian", func(x, y []float64) float64 {
-		var s float64
-		for i := range x {
-			s += math.Log1p(math.Abs(x[i] - y[i]))
-		}
-		return s
-	})
+func Lorentzian() Panel {
+	return Panel{
+		name: "lorentzian",
+		dist: func(x, y []float64) float64 {
+			var s float64
+			for i := range x {
+				s += math.Log1p(math.Abs(x[i] - y[i]))
+			}
+			return s
+		},
+		distUpTo: sumLog1pAbsUpTo,
+		panelAll: func(q []float64, panel [][]float64, out []float64) {
+			panelSumLog1pAbsUpTo(q, panel, math.Inf(1), out)
+		},
+		panelUpTo: panelSumLog1pAbsUpTo,
+	}
 }
 
 //
@@ -264,18 +302,21 @@ func HarmonicMean() measure.Func {
 	})
 }
 
-// Cosine returns 1 - cos(x, y).
-func Cosine() measure.Func {
-	return measure.New("cosine", func(x, y []float64) float64 {
-		var xy, xx, yy float64
-		for i := range x {
-			xy += x[i] * y[i]
-			xx += x[i] * x[i]
-			yy += y[i] * y[i]
-		}
-		den := math.Sqrt(xx) * math.Sqrt(yy)
-		return 1 - measure.Div(xy, den)
-	})
+// Cosine returns 1 - cos(x, y) as a Panel. Its accumulators are not
+// monotone, so DistanceUpTo and the panel cutoff path compute exact values
+// regardless of the cutoff (trivially within the contracts).
+func Cosine() Panel {
+	return Panel{
+		name: "cosine",
+		dist: cosineDist,
+		distUpTo: func(x, y []float64, _ float64) float64 {
+			return cosineDist(x, y)
+		},
+		panelAll: panelCosine,
+		panelUpTo: func(q []float64, panel [][]float64, _ float64, out []float64) {
+			panelCosine(q, panel, out)
+		},
+	}
 }
 
 // KumarHassebrook returns 1 - sum x*y / (sum x^2 + sum y^2 - sum x*y).
@@ -390,16 +431,28 @@ func SquaredChord() measure.Func {
 // ---- Squared L_2 (chi-squared) family ----
 //
 
-// SquaredEuclidean returns sum (x-y)^2.
-func SquaredEuclidean() measure.Func {
-	return measure.New("squaredeuclidean", func(x, y []float64) float64 {
-		var s float64
-		for i := range x {
-			d := x[i] - y[i]
-			s += d * d
-		}
-		return s
-	})
+// SquaredEuclidean returns sum (x-y)^2 as a Panel.
+func SquaredEuclidean() Panel {
+	return Panel{
+		name: "squaredeuclidean",
+		dist: func(x, y []float64) float64 {
+			var s float64
+			for i := range x {
+				d := x[i] - y[i]
+				s += d * d
+			}
+			return s
+		},
+		distUpTo: func(x, y []float64, cutoff float64) float64 {
+			return sumSqUpTo(x, y, cutoff, ident)
+		},
+		panelAll: func(q []float64, panel [][]float64, out []float64) {
+			panelSumSqUpTo(q, panel, math.Inf(1), out, ident)
+		},
+		panelUpTo: func(q []float64, panel [][]float64, cutoff float64, out []float64) {
+			panelSumSqUpTo(q, panel, cutoff, out, ident)
+		},
+	}
 }
 
 // PearsonChiSq returns sum (x-y)^2 / y.

@@ -1,0 +1,214 @@
+package lockstep
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// panels returns the six panel-capable lock-step measures.
+func panels() []Panel {
+	return []Panel{Euclidean(), Manhattan(), Chebyshev(), Lorentzian(), SquaredEuclidean(), Cosine()}
+}
+
+// sameBits is bitwise equality with NaN == NaN (identical op sequences
+// produce identical NaN payloads, but keep the check independent of that).
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func randPanel(rng *rand.Rand, count, m int) ([]float64, [][]float64) {
+	series := func() []float64 {
+		s := make([]float64, m)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		return s
+	}
+	q := series()
+	panel := make([][]float64, count)
+	for k := range panel {
+		panel[k] = series()
+	}
+	return q, panel
+}
+
+// TestPanelBitwiseScalar: PanelDistances must match per-pair Distance
+// bitwise across panel sizes that exercise the 4-lane groups and the tail,
+// and lengths that exercise the stride loop and its remainder.
+func TestPanelBitwiseScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, m := range []int{0, 1, 5, 63, 64, 65, 129} {
+		for _, count := range []int{0, 1, 3, 4, 5, 9} {
+			q, panel := randPanel(rng, count, m)
+			for _, p := range panels() {
+				out := make([]float64, count)
+				if !p.PanelDistances(q, panel, out) {
+					t.Fatalf("%s m=%d count=%d: declined uniform panel", p.Name(), m, count)
+				}
+				for k := range panel {
+					if want := p.Distance(q, panel[k]); !sameBits(out[k], want) {
+						t.Fatalf("%s m=%d k=%d: panel %v != scalar %v", p.Name(), m, k, out[k], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPanelBitwiseNonFinite: the bitwise contract holds through NaN and
+// Inf values too — the kernels run the same ops as the scalar loops.
+func TestPanelBitwiseNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	q, panel := randPanel(rng, 6, 80)
+	q[3] = math.NaN()
+	panel[1][0] = math.Inf(1)
+	panel[4][79] = math.Inf(-1)
+	panel[5][10] = math.NaN()
+	for _, p := range panels() {
+		out := make([]float64, len(panel))
+		if !p.PanelDistances(q, panel, out) {
+			t.Fatalf("%s: declined", p.Name())
+		}
+		for k := range panel {
+			if want := p.Distance(q, panel[k]); !sameBits(out[k], want) {
+				t.Fatalf("%s k=%d: panel %v != scalar %v", p.Name(), k, out[k], want)
+			}
+		}
+	}
+}
+
+// TestPanelUpToContract checks PanelDistancesUpTo per candidate: exact
+// below the cutoff, a certified bound in [cutoff, distance] at or above it.
+func TestPanelUpToContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	q, panel := randPanel(rng, 9, 200)
+	panel[2] = append([]float64(nil), q...) // zero-distance candidate
+	for _, p := range panels() {
+		exact := make([]float64, len(panel))
+		for k := range panel {
+			exact[k] = p.Distance(q, panel[k])
+		}
+		sorted := append([]float64(nil), exact...)
+		sort.Float64s(sorted)
+		for _, cutoff := range []float64{math.Inf(1), sorted[len(sorted)/2], sorted[0], 0} {
+			out := make([]float64, len(panel))
+			if !p.PanelDistancesUpTo(q, panel, cutoff, out) {
+				t.Fatalf("%s: declined", p.Name())
+			}
+			for k := range panel {
+				switch {
+				case exact[k] < cutoff:
+					if !sameBits(out[k], exact[k]) {
+						t.Fatalf("%s cutoff=%v k=%d: below-cutoff value %v != exact %v",
+							p.Name(), cutoff, k, out[k], exact[k])
+					}
+				default:
+					if out[k] < cutoff || out[k] > exact[k] {
+						t.Fatalf("%s cutoff=%v k=%d: %v outside [cutoff, %v]",
+							p.Name(), cutoff, k, out[k], exact[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPanelDeclinesRagged: a candidate of a different length makes both
+// panel calls decline without touching out.
+func TestPanelDeclinesRagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	q, panel := randPanel(rng, 5, 40)
+	panel[3] = panel[3][:39]
+	for _, p := range panels() {
+		out := make([]float64, len(panel))
+		if p.PanelDistances(q, panel, out) {
+			t.Fatalf("%s: accepted ragged panel", p.Name())
+		}
+		if p.PanelDistancesUpTo(q, panel, 1.0, out) {
+			t.Fatalf("%s: UpTo accepted ragged panel", p.Name())
+		}
+	}
+}
+
+// TestScalarUpToContract pins DistanceUpTo for the six panels, including
+// the negative-distance corner (cosine of identical series rounds to
+// -2^-52-ish, putting any cutoff in (d, 0] above the distance).
+func TestScalarUpToContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	q, panel := randPanel(rng, 1, 300)
+	y := panel[0]
+	for _, p := range panels() {
+		d := p.Distance(q, y)
+		for _, cutoff := range []float64{math.Inf(1), d * 1.5, d, d / 2, 0} {
+			v := p.DistanceUpTo(q, y, cutoff)
+			if d < cutoff {
+				if !sameBits(v, d) {
+					t.Fatalf("%s cutoff=%v: %v != exact %v", p.Name(), cutoff, v, d)
+				}
+			} else if v < cutoff || v > d {
+				t.Fatalf("%s cutoff=%v: %v outside [cutoff, %v]", p.Name(), cutoff, v, d)
+			}
+		}
+		self := p.DistanceUpTo(q, q, 0.5)
+		if want := p.Distance(q, q); want < 0.5 && !sameBits(self, want) {
+			t.Fatalf("%s: self distance %v != %v", p.Name(), self, want)
+		}
+	}
+}
+
+func BenchmarkHotloopsPanelPerPair(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	q, panel := randPanel(rng, 128, 256)
+	for _, p := range []Panel{Euclidean(), Lorentzian()} {
+		b.Run(p.Name(), func(b *testing.B) {
+			out := make([]float64, len(panel))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for k := range panel {
+					out[k] = p.Distance(q, panel[k])
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHotloopsPanelBatched(b *testing.B) {
+	rng := rand.New(rand.NewSource(41))
+	q, panel := randPanel(rng, 128, 256)
+	for _, p := range []Panel{Euclidean(), Lorentzian()} {
+		b.Run(p.Name(), func(b *testing.B) {
+			out := make([]float64, len(panel))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !p.PanelDistances(q, panel, out) {
+					b.Fatal("declined")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHotloopsPanelAbandon(b *testing.B) {
+	rng := rand.New(rand.NewSource(43))
+	q, panel := randPanel(rng, 128, 256)
+	eu := Euclidean()
+	// A tight cutoff: the 1-NN distance of the panel, so most candidates
+	// abandon at the first stride check.
+	cutoff := math.Inf(1)
+	for k := range panel {
+		if d := eu.Distance(q, panel[k]); d < cutoff {
+			cutoff = d
+		}
+	}
+	cutoff *= 1.01
+	out := make([]float64, len(panel))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !eu.PanelDistancesUpTo(q, panel, cutoff, out) {
+			b.Fatal("declined")
+		}
+	}
+}

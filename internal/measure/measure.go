@@ -125,6 +125,31 @@ type ContextSelfMatrixer interface {
 	SelfMatrixCtx(ctx context.Context, series [][]float64, rows [][]float64) (bool, error)
 }
 
+// PanelEvaluator is an optional batched fast path for lock-step measures:
+// the search and evaluation layers hand one query and a whole panel of
+// candidate series to the engine in a single call, letting it fuse
+// per-candidate accumulators, hoist bounds checks, and unroll across
+// candidates. The contract is bitwise, mirroring SelfMatrixer: on success
+// out[k] must hold exactly the value the per-pair Distance would produce,
+// before NaN sanitization — the caller sanitizes. A false return means the
+// engine declined (e.g. a candidate's length differs from the query's) and
+// the caller must fall back to the per-pair path; out content is then
+// unspecified and will be overwritten.
+type PanelEvaluator interface {
+	Measure
+	// PanelDistances fills out[k] = Distance(q, panel[k]) for every k in
+	// [0, len(panel)), returning false to decline. len(out) must be at
+	// least len(panel).
+	PanelDistances(q []float64, panel [][]float64, out []float64) bool
+	// PanelDistancesUpTo is PanelDistances under a shared best-so-far
+	// cutoff, applying the EarlyAbandoning contract per candidate: out[k]
+	// equals Distance(q, panel[k]) exactly whenever that value is < cutoff,
+	// and is otherwise some v with cutoff <= v <= Distance(q, panel[k]), so
+	// the caller can both reject the candidate and reuse v as a certified
+	// lower bound.
+	PanelDistancesUpTo(q []float64, panel [][]float64, cutoff float64, out []float64) bool
+}
+
 // PreparationSharing is an optional declaration for Stateful measures whose
 // Prepare output does not depend on the measure's parameters within a
 // family: SharesPreparation(other) reports that state prepared by other can

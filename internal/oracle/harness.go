@@ -1,15 +1,24 @@
 package oracle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 
+	"repro/internal/elastic"
 	"repro/internal/eval"
 	"repro/internal/measure"
 	"repro/internal/search"
 )
+
+// wavefronter is the diagonal-blocked parallel DP route the elastic
+// measures expose. Declared locally so the harness stays decoupled from
+// the concrete elastic types.
+type wavefronter interface {
+	DistanceWavefront(ctx context.Context, x, y []float64) (float64, error)
+}
 
 // Discrepancy is one disagreement the harness found, identifying the
 // measure, the input case, the contract that was violated, and the values
@@ -17,7 +26,7 @@ import (
 type Discrepancy struct {
 	Measure string
 	Input   string
-	Kind    string // oracle | symmetry | stateful | gridstate | upto | lowerbound | panic | engine
+	Kind    string // oracle | symmetry | stateful | gridstate | upto | wavefront | panel | lowerbound | panic | engine
 	Detail  string
 }
 
@@ -192,10 +201,52 @@ func CheckPair(r *Report, p Pair, in Input) {
 					r.add(name, in.Name, "upto", "cutoff not hit: DistanceUpTo=%v Distance=%v", v, got)
 				}
 				cutoff := got / 2
-				if v := ea.DistanceUpTo(in.X, in.Y, cutoff); v < cutoff || v > got {
+				v := ea.DistanceUpTo(in.X, in.Y, cutoff)
+				if got < cutoff {
+					// A negative distance (rounding noise on similarity-style
+					// measures like cosine) puts got/2 above it, so the
+					// exact-value clause of the contract applies.
+					if !sameValue(v, got) {
+						r.add(name, in.Name, "upto",
+							"below-cutoff value not exact: DistanceUpTo=%v Distance=%v", v, got)
+					}
+				} else if v < cutoff || v > got {
 					r.add(name, in.Name, "upto",
 						"abandoned value %v outside [cutoff=%v, d=%v]", v, cutoff, got)
 				}
+			}
+		})
+	}
+
+	// Wavefront route: the diagonal-blocked parallel DP must reproduce the
+	// scalar DP bitwise on well-behaved input — the blocking reorders when
+	// cells are computed, never what they are computed from. On non-finite
+	// input the scalar DTW loop may exit early through an all-Inf band row
+	// where the wavefront evaluates through, so there only the sanitized
+	// values must agree. A pre-cancelled context must either surface an
+	// error or still return the exact value — never garbage.
+	if wf, ok := p.M.(wavefronter); ok {
+		r.Checks++
+		call(r, name, in.Name, "DistanceWavefront", func() {
+			v, err := wf.DistanceWavefront(context.Background(), in.X, in.Y)
+			if err != nil {
+				r.add(name, in.Name, "wavefront", "unexpected error: %v", err)
+				return
+			}
+			if wellBehaved && !sameValue(v, got) {
+				r.add(name, in.Name, "wavefront",
+					"wavefront=%v scalar=%v not bitwise equal", v, got)
+			} else if !wellBehaved && !agree(v, got, p.Tol) {
+				r.add(name, in.Name, "wavefront", "wavefront=%v scalar=%v", v, got)
+			}
+		})
+		r.Checks++
+		call(r, name, in.Name, "DistanceWavefront(cancelled)", func() {
+			cctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			if v, err := wf.DistanceWavefront(cctx, in.X, in.Y); err == nil && !agree(v, got, p.Tol) {
+				r.add(name, in.Name, "wavefront",
+					"cancelled call returned %v without error (scalar %v)", v, got)
 			}
 		})
 	}
@@ -223,13 +274,107 @@ func CheckPanicsOnMismatch(r *Report, m measure.Measure) {
 	r.Checks++
 	x := []float64{1, 2, 3, 4}
 	y := []float64{1, 2}
-	panicked := false
-	func() {
-		defer func() { panicked = recover() != nil }()
-		m.Distance(x, y)
-	}()
-	if !panicked {
-		r.add(m.Name(), "mismatched-lengths", "panic", "Distance(len 4, len 2) did not panic")
+	mustPanic := func(route string, f func()) {
+		panicked := false
+		func() {
+			defer func() { panicked = recover() != nil }()
+			f()
+		}()
+		if !panicked {
+			r.add(m.Name(), "mismatched-lengths", "panic", "%s(len 4, len 2) did not panic", route)
+		}
+	}
+	mustPanic("Distance", func() { m.Distance(x, y) })
+	if wf, ok := m.(wavefronter); ok {
+		r.Checks++
+		mustPanic("DistanceWavefront", func() { wf.DistanceWavefront(context.Background(), x, y) })
+	}
+}
+
+// CheckPanel runs the batched panel route differential for one
+// PanelEvaluator: PanelDistances against per-pair Distance bitwise,
+// PanelDistancesUpTo under the per-candidate early-abandoning contract
+// (exact below the cutoff, a certified value in [cutoff, distance] at or
+// above it), and the ragged-length decline rule.
+func CheckPanel(r *Report, pe measure.PanelEvaluator, q []float64, panel [][]float64, input string) {
+	name := pe.Name()
+	exact := make([]float64, len(panel))
+	if !call(r, name, input, "Distance", func() {
+		for k := range panel {
+			exact[k] = pe.Distance(q, panel[k])
+		}
+	}) {
+		return
+	}
+
+	r.Checks++
+	call(r, name, input, "PanelDistances", func() {
+		out := make([]float64, len(panel))
+		if !pe.PanelDistances(q, panel, out) {
+			r.add(name, input, "panel", "declined a uniform-length panel")
+			return
+		}
+		for k := range out {
+			if !sameValue(out[k], exact[k]) {
+				r.add(name, input, "panel",
+					"candidate %d: panel=%v scalar=%v not bitwise equal", k, out[k], exact[k])
+				return
+			}
+		}
+	})
+
+	r.Checks++
+	call(r, name, input, "PanelDistancesUpTo", func() {
+		// +Inf must reproduce the exact values; 0 and a finite exact
+		// distance place real cutoffs inside the panel's value range.
+		cutoffs := []float64{math.Inf(1), 0}
+		for _, d := range exact {
+			if !math.IsNaN(d) && !math.IsInf(d, 0) {
+				cutoffs = append(cutoffs, d)
+				break
+			}
+		}
+		for _, cutoff := range cutoffs {
+			out := make([]float64, len(panel))
+			if !pe.PanelDistancesUpTo(q, panel, cutoff, out) {
+				r.add(name, input, "panel", "UpTo declined a uniform-length panel")
+				return
+			}
+			for k := range out {
+				d := exact[k]
+				// NaN distances pass vacuously: every comparison below is
+				// false, which is exactly the contract (any value is a
+				// lower bound of the sanitized +Inf).
+				if d < cutoff {
+					if !sameValue(out[k], d) {
+						r.add(name, input, "panel",
+							"cutoff=%v candidate %d: below-cutoff value %v != exact %v",
+							cutoff, k, out[k], d)
+						return
+					}
+				} else if out[k] < cutoff || out[k] > d {
+					r.add(name, input, "panel",
+						"cutoff=%v candidate %d: %v outside [cutoff, %v]", cutoff, k, out[k], d)
+					return
+				}
+			}
+		}
+	})
+
+	// Ragged panels must be declined, not evaluated or panicked on.
+	if len(panel) >= 2 && len(q) > 0 {
+		r.Checks++
+		call(r, name, input, "PanelDistances(ragged)", func() {
+			ragged := append([][]float64(nil), panel...)
+			ragged[len(ragged)-1] = ragged[len(ragged)-1][:len(q)-1]
+			out := make([]float64, len(ragged))
+			if pe.PanelDistances(q, ragged, out) {
+				r.add(name, input, "panel", "accepted a ragged panel")
+			}
+			if pe.PanelDistancesUpTo(q, ragged, 1, out) {
+				r.add(name, input, "panel", "UpTo accepted a ragged panel")
+			}
+		})
 	}
 }
 
@@ -284,11 +429,40 @@ func Fuzz(seed int64) *Report {
 	r := &Report{}
 	corpus := Corpus(seed)
 	pairs := Pairs()
+
+	// Shrink the wavefront block so even the short corpus series schedule
+	// several blocks per diagonal — otherwise every case would be a single
+	// block and the cross-block boundary hand-off would go unexercised.
+	restore := elastic.SetWavefrontBlock(4)
+	defer restore()
+
 	for _, p := range pairs {
 		for _, in := range corpus {
 			CheckPair(r, p, in)
 		}
 		CheckPanicsOnMismatch(r, p.M)
+	}
+
+	// Panel route: every corpus series of one length forms a candidate
+	// panel — NaN, Inf, extreme, and constant series included — queried
+	// both with a well-behaved series and with a non-finite one.
+	byLen := map[int][][]float64{}
+	for _, in := range corpus {
+		byLen[len(in.X)] = append(byLen[len(in.X)], in.X, in.Y)
+	}
+	for _, p := range pairs {
+		pe, ok := p.M.(measure.PanelEvaluator)
+		if !ok {
+			continue
+		}
+		for _, n := range Lengths {
+			series := byLen[n]
+			if len(series) == 0 {
+				continue
+			}
+			CheckPanel(r, pe, series[0], series, fmt.Sprintf("panel/len=%d", n))
+			CheckPanel(r, pe, series[len(series)-1], series, fmt.Sprintf("panel-tail-q/len=%d", n))
+		}
 	}
 	queries, refs := EngineSets(seed, false)
 	pqueries, prefs := EngineSets(seed, true)

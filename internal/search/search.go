@@ -67,9 +67,16 @@ type Index struct {
 	lb    measure.LowerBounded
 	ea    measure.EarlyAbandoning
 	sm    measure.Stateful
+	pe    measure.PanelEvaluator
 	rctx  []measure.BoundContext
 	rprep []any
 }
+
+// panelChunk is the number of candidates handed to a PanelEvaluator per
+// call in the query scan: large enough to amortize the call and fill the
+// engine's 4-lane groups, small enough that the shared best-so-far cutoff
+// refreshes frequently.
+const panelChunk = 32
 
 // NewIndex prepares refs for searching under m. Per-reference state is
 // computed in parallel. When the measure is LowerBounded the cascade path
@@ -86,6 +93,9 @@ func NewIndexCtx(ctx context.Context, m measure.Measure, refs [][]float64) (*Ind
 	ix := &Index{m: m, refs: refs}
 	if ea, ok := m.(measure.EarlyAbandoning); ok {
 		ix.ea = ea
+	}
+	if pe, ok := m.(measure.PanelEvaluator); ok {
+		ix.pe = pe
 	}
 	if lb, ok := m.(measure.LowerBounded); ok {
 		ix.lb = lb
@@ -115,6 +125,7 @@ func NewIndexCtx(ctx context.Context, m measure.Measure, refs [][]float64) (*Ind
 type Querier struct {
 	ix   *Index
 	qctx measure.BoundContext
+	pout []float64 // panel output scratch (PanelEvaluator path)
 	// Stats accumulates the work performed by this Querier's queries.
 	Stats Stats
 }
@@ -124,6 +135,9 @@ func (ix *Index) Querier() *Querier {
 	q := &Querier{ix: ix}
 	if ix.lb != nil && len(ix.refs) > 0 {
 		q.qctx = ix.lb.NewBoundContext(len(ix.refs[0]))
+	}
+	if ix.lb == nil && ix.pe != nil {
+		q.pout = make([]float64, panelChunk)
 	}
 	return q
 }
@@ -166,6 +180,60 @@ func (q *Querier) search(x []float64, skip int) (int, float64) {
 			}
 			if best == -1 || d < bestDist {
 				best, bestDist = j, d
+			}
+		}
+	case ix.pe != nil:
+		// Batched panel scan: candidates are evaluated panelChunk at a time
+		// with the best-so-far at chunk entry as the shared cutoff. Results
+		// stay exact: a non-exact (abandoned) out value is >= the chunk
+		// cutoff >= the current incumbent, so it fails the strict update,
+		// while any candidate that could improve the incumbent has true
+		// distance < the entry cutoff and therefore an exact out value.
+		// Ascending order and strict < reproduce lowest-index tie-breaking.
+		for start := 0; start < len(ix.refs); start += panelChunk {
+			end := start + panelChunk
+			if end > len(ix.refs) {
+				end = len(ix.refs)
+			}
+			chunk := ix.refs[start:end]
+			counted := int64(len(chunk))
+			if skip >= start && skip < end {
+				counted--
+			}
+			q.Stats.Pairs += counted
+			q.Stats.FullDist += counted
+			ok := false
+			if best >= 0 {
+				ok = ix.pe.PanelDistancesUpTo(x, chunk, bestDist, q.pout)
+			} else {
+				ok = ix.pe.PanelDistances(x, chunk, q.pout)
+			}
+			if !ok {
+				// Declined (ragged chunk): per-pair fallback, same results.
+				for j := start; j < end; j++ {
+					if j == skip {
+						continue
+					}
+					var d float64
+					if ix.ea != nil && best >= 0 {
+						d = measure.Sanitize(ix.ea.DistanceUpTo(x, ix.refs[j], bestDist))
+					} else {
+						d = measure.Sanitize(ix.m.Distance(x, ix.refs[j]))
+					}
+					if best == -1 || d < bestDist {
+						best, bestDist = j, d
+					}
+				}
+				continue
+			}
+			for j := start; j < end; j++ {
+				if j == skip {
+					continue
+				}
+				d := measure.Sanitize(q.pout[j-start])
+				if best == -1 || d < bestDist {
+					best, bestDist = j, d
+				}
 			}
 		}
 	case ix.sm != nil:
