@@ -17,10 +17,11 @@ race:
 	$(GO) test -race ./internal/par ./internal/eval ./internal/search
 
 # Race-check the spectral engine's tiled dispatch (the parallel Gram
-# fill/mirroring in internal/kernel and the parallel embedding fits) and
-# the wavefront DP scheduler plus the batched panel kernels.
+# fill/mirroring in internal/kernel and the parallel embedding fits), the
+# wavefront DP scheduler plus the batched panel kernels, and the STOMP
+# matrix-profile engine's block dispatch.
 check-race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/par ./internal/search ./internal/kernel ./internal/embedding ./internal/elastic ./internal/lockstep
+	GOMAXPROCS=4 $(GO) test -race ./internal/par ./internal/search ./internal/kernel ./internal/embedding ./internal/elastic ./internal/lockstep ./internal/profile
 
 # Differential oracle harness under the race detector: every measure
 # against its reference implementation plus both search engines against
@@ -33,14 +34,16 @@ oracle-long:
 	$(GO) test ./internal/oracle -run Oracle -oracle.long
 
 # Smoke-run every benchmark once, then measure the grid tuning benchmarks
-# (per-candidate loop vs grid engine), the spectral engine, and the
-# hot-loop kernels (scalar DP vs wavefront, per-pair vs batched panel)
-# with allocation counts, recording each set via cmd/benchjson.
+# (per-candidate loop vs grid engine), the spectral engine, the hot-loop
+# kernels (scalar DP vs wavefront, per-pair vs batched panel), and the
+# matrix-profile engine (STOMP vs the STAMP baseline) with allocation
+# counts, recording each set via cmd/benchjson.
 bench:
 	$(GO) test -bench . -benchtime 1x -benchmem ./...
 	$(GO) test -bench BenchmarkGridTuning -benchmem ./internal/search | $(GO) run ./cmd/benchjson -o BENCH_tuning.json
 	$(GO) test -bench 'BenchmarkGram|BenchmarkEigenSym' -benchmem ./internal/kernel ./internal/linalg | $(GO) run ./cmd/benchjson -o BENCH_spectral.json
 	$(GO) test -bench BenchmarkHotloops -benchmem ./internal/elastic ./internal/lockstep | $(GO) run ./cmd/benchjson -o BENCH_hotloops.json
+	$(GO) test -bench BenchmarkProfile -benchmem ./internal/profile | $(GO) run ./cmd/benchjson -o BENCH_profile.json
 
 # Re-measure every committed BENCH_* baseline and fail (benchstat-style)
 # when any benchmark's ns/op regressed by more than 5%. Run after changes
@@ -54,6 +57,8 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare -old BENCH_spectral.json -new /tmp/bench_new_spectral.json -threshold 5
 	$(GO) test -bench BenchmarkHotloops -benchmem ./internal/elastic ./internal/lockstep | $(GO) run ./cmd/benchjson -o /tmp/bench_new_hotloops.json
 	$(GO) run ./cmd/benchcompare -old BENCH_hotloops.json -new /tmp/bench_new_hotloops.json -threshold 5
+	$(GO) test -bench BenchmarkProfile -benchmem ./internal/profile | $(GO) run ./cmd/benchjson -o /tmp/bench_new_profile.json
+	$(GO) run ./cmd/benchcompare -old BENCH_profile.json -new /tmp/bench_new_profile.json -threshold 5
 
 # Regenerate the golden experiment outputs after an intentional change to
 # a measure, engine, or renderer; commit the resulting diff.

@@ -89,4 +89,6 @@ func init() {
 		SpectralRuntimeCtx, RenderSpectral)
 	register("hotloops", "scalar DP and per-pair loops vs wavefront/panel engines",
 		HotloopsAblationCtx, RenderHotloops)
+	register("profile", "STAMP/naive matrix-profile baselines vs STOMP streaming engine",
+		ProfileExperimentCtx, RenderProfile)
 }

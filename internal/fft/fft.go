@@ -243,6 +243,89 @@ func Convolve(x, y []float64) []float64 {
 	return out
 }
 
+// SlidingPlan caches the padded forward transform of a long series for
+// repeated sliding-dot-product scans with fixed-length queries — the access
+// pattern of MASS and the matrix-profile engines, where one series is
+// scanned by many windows. Construction costs one forward FFT of the
+// series; each scan then costs one forward transform of the query plus one
+// inverse, instead of re-transforming the series every time.
+type SlidingPlan struct {
+	n, w, m int
+	freq    []complex128
+}
+
+// NewSlidingPlan builds the plan for series t and query length w,
+// 1 <= w <= len(t).
+func NewSlidingPlan(t []float64, w int) *SlidingPlan {
+	p := &SlidingPlan{}
+	p.Reset(t, w)
+	return p
+}
+
+// Reset re-targets the plan (the zero value included) at a new series and
+// window length, reusing the spectrum buffer when capacity allows so warm
+// engines stay allocation-free across joins of the same size.
+func (p *SlidingPlan) Reset(t []float64, w int) {
+	n := len(t)
+	if w < 1 || w > n {
+		panic(fmt.Sprintf("fft: sliding window %d out of range for series length %d", w, n))
+	}
+	m := NextPowerOfTwo(n + w - 1)
+	p.n, p.w, p.m = n, w, m
+	if cap(p.freq) < m {
+		p.freq = make([]complex128, m)
+	}
+	p.freq = p.freq[:m]
+	for i := n; i < m; i++ {
+		p.freq[i] = 0
+	}
+	for i, v := range t {
+		p.freq[i] = complex(v, 0)
+	}
+	Forward(p.freq)
+}
+
+// Len returns the planned series length.
+func (p *SlidingPlan) Len() int { return p.n }
+
+// Window returns the planned query length.
+func (p *SlidingPlan) Window() int { return p.w }
+
+// PaddedLen returns the padded FFT length; callers sizing SlidingDots
+// scratch buffers use it.
+func (p *SlidingPlan) PaddedLen() int { return p.m }
+
+// SlidingDots writes the sliding dot products of q (len = Window) against
+// every window of the planned series t — dst[s] = dot(q, t[s:s+w]) for
+// s in [0, n-w] — into dst (cap >= n-w+1), using buf (len >= PaddedLen) as
+// FFT scratch, and returns dst[:n-w+1]. The padded length and operation
+// order match CrossCorrelation(t, q) at the non-negative shifts exactly,
+// so the two routes produce bitwise-identical dot products and callers can
+// swap freely between them.
+func (p *SlidingPlan) SlidingDots(q, dst []float64, buf []complex128) []float64 {
+	if len(q) != p.w {
+		panic(fmt.Sprintf("fft: sliding plan window %d, got query length %d", p.w, len(q)))
+	}
+	buf = buf[:p.m]
+	for i := p.w; i < p.m; i++ {
+		buf[i] = 0
+	}
+	for i, v := range q {
+		buf[i] = complex(v, 0)
+	}
+	Forward(buf)
+	for i := range buf {
+		buf[i] = p.freq[i] * cmplx.Conj(buf[i])
+	}
+	Inverse(buf)
+	out := p.n - p.w + 1
+	dst = dst[:out]
+	for s := 0; s < out; s++ {
+		dst[s] = real(buf[s])
+	}
+	return dst
+}
+
 // Plan caches the forward transform of a fixed-length reference signal so
 // repeated cross-correlations against many query series reuse the padded
 // FFT buffer size. It is used by the sliding measures when building full

@@ -35,20 +35,10 @@ type Result struct {
 	Iters     int
 }
 
-// sbdShift returns the SBD distance between x and y along with the
-// y-aligned-to-x version of y (shifted by the optimal cross-correlation
-// lag, zero-padded).
-func sbdShift(x, y []float64) (dist float64, aligned []float64) {
-	m := len(x)
-	cc := fft.CrossCorrelation(x, y)
-	var nx, ny float64
-	for _, v := range x {
-		nx += v * v
-	}
-	for _, v := range y {
-		ny += v * v
-	}
-	den := math.Sqrt(nx) * math.Sqrt(ny)
+// sbdBest scores a full cross-correlation sequence: the SBD distance
+// 1 - max normalized correlation, and the corresponding shift of y
+// relative to x (positive: move y right).
+func sbdBest(cc []float64, m int, den float64) (dist float64, shift int) {
 	bestIdx, best := m-1, math.Inf(-1)
 	for k, v := range cc {
 		s := v
@@ -62,15 +52,43 @@ func sbdShift(x, y []float64) (dist float64, aligned []float64) {
 	if den == 0 {
 		best = 0
 	}
-	shift := bestIdx - (m - 1) // positive: move y right
-	aligned = make([]float64, m)
+	return 1 - best, bestIdx - (m - 1)
+}
+
+// alignShift returns y shifted by the given lag into a length-m buffer,
+// zero-padded.
+func alignShift(y []float64, shift, m int) []float64 {
+	aligned := make([]float64, m)
 	for i := range y {
 		j := i + shift
 		if j >= 0 && j < m {
 			aligned[j] = y[i]
 		}
 	}
-	return 1 - best, aligned
+	return aligned
+}
+
+// sbdShift returns the SBD distance between x and y along with the
+// y-aligned-to-x version of y (shifted by the optimal cross-correlation
+// lag, zero-padded). One-shot form; loops that keep one side fixed plan
+// it once instead (see Run, extractShape, Inertia).
+func sbdShift(x, y []float64) (dist float64, aligned []float64) {
+	m := len(x)
+	cc := fft.CrossCorrelation(x, y)
+	den := norm2(x) * norm2(y)
+	dist, shift := sbdBest(cc, m, den)
+	return dist, alignShift(y, shift, m)
+}
+
+// sbdPlanned is the SBD distance between two planned series, skipping the
+// alignment output the assignment loop discards. The planned
+// cross-correlation is bitwise identical to the one-shot route, so
+// assignments are unchanged; what it saves is the forward transform both
+// sides used to pay on every pairing.
+func sbdPlanned(px, py *fft.Plan, denX, denY float64, cc []float64, buf []complex128) float64 {
+	cc = px.CrossCorrelateTo(py, cc, buf)
+	d, _ := sbdBest(cc, px.Len(), denX*denY)
+	return d
 }
 
 // extractShape computes the new centroid of the member series, each first
@@ -83,11 +101,17 @@ func extractShape(members [][]float64, prev []float64, powerIts int) []float64 {
 		return append([]float64(nil), prev...)
 	}
 	aligned := make([][]float64, len(members))
-	for i, y := range members {
-		if isZero(prev) {
-			aligned[i] = y
-		} else {
-			_, aligned[i] = sbdShift(prev, y)
+	if isZero(prev) {
+		copy(aligned, members)
+	} else {
+		// Plan prev once: its forward transform is shared across every
+		// member alignment instead of being recomputed per pairing.
+		prevPlan := fft.NewPlan(prev)
+		prevNorm := norm2(prev)
+		for i, y := range members {
+			cc := prevPlan.CrossCorrelate(y)
+			_, shift := sbdBest(cc, m, prevNorm*norm2(y))
+			aligned[i] = alignShift(y, shift, m)
 		}
 	}
 	// S = Z^T Z (m x m).
@@ -212,6 +236,23 @@ func Run(series [][]float64, cfg Config) Result {
 		centroids[c] = make([]float64, m) // zero centroid: first pass skips alignment
 	}
 
+	// Plan every series once: the assignment loop cross-correlates each
+	// series against each centroid every iteration, and the series-side
+	// forward transforms never change.
+	seriesPlans := make([]*fft.Plan, n)
+	seriesNorms := make([]float64, n)
+	for i, s := range series {
+		seriesPlans[i] = fft.NewPlan(s)
+		seriesNorms[i] = norm2(s)
+	}
+	centPlans := make([]*fft.Plan, cfg.K)
+	centNorms := make([]float64, cfg.K)
+	var ccBuf []float64
+	if m > 0 {
+		ccBuf = make([]float64, 2*m-1)
+	}
+	fftBuf := make([]complex128, seriesPlans[0].PaddedLen())
+
 	res := Result{Labels: labels, Centroids: centroids}
 	for iter := 1; iter <= maxIter; iter++ {
 		res.Iters = iter
@@ -225,15 +266,25 @@ func Run(series [][]float64, cfg Config) Result {
 			}
 			centroids[c] = extractShape(members, centroids[c], cfg.PowerIts)
 		}
-		// Assignment: move each series to its nearest centroid.
+		// Assignment: move each series to its nearest centroid. Centroids
+		// change once per iteration, so each is planned once here rather
+		// than re-transformed for every series pairing.
+		for c := range centroids {
+			if isZero(centroids[c]) {
+				centPlans[c] = nil
+				continue
+			}
+			centPlans[c] = fft.NewPlan(centroids[c])
+			centNorms[c] = norm2(centroids[c])
+		}
 		changed := false
-		for i, s := range series {
+		for i := range series {
 			best, bestD := labels[i], math.Inf(1)
 			for c := 0; c < cfg.K; c++ {
-				if isZero(centroids[c]) {
+				if centPlans[c] == nil {
 					continue
 				}
-				d, _ := sbdShift(centroids[c], s)
+				d := sbdPlanned(centPlans[c], seriesPlans[i], centNorms[c], seriesNorms[i], ccBuf, fftBuf)
 				if d < bestD {
 					best, bestD = c, d
 				}
@@ -255,14 +306,24 @@ func Run(series [][]float64, cfg Config) Result {
 // Inertia returns the clustering objective: the sum of SBD distances from
 // every series to its cluster centroid (lower is tighter).
 func Inertia(series [][]float64, res Result) float64 {
+	// Centroids repeat across their members, so each is planned lazily on
+	// first use and its forward transform shared.
+	plans := make([]*fft.Plan, len(res.Centroids))
+	norms := make([]float64, len(res.Centroids))
 	var sum float64
 	for i, s := range series {
-		c := res.Centroids[res.Labels[i]]
+		l := res.Labels[i]
+		c := res.Centroids[l]
 		if isZero(c) {
 			sum += 1 // empty cluster: maximal SBD by convention
 			continue
 		}
-		d, _ := sbdShift(c, s)
+		if plans[l] == nil {
+			plans[l] = fft.NewPlan(c)
+			norms[l] = norm2(c)
+		}
+		cc := plans[l].CrossCorrelate(s)
+		d, _ := sbdBest(cc, len(c), norms[l]*norm2(s))
 		sum += d
 	}
 	return sum

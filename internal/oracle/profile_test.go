@@ -1,0 +1,19 @@
+package oracle
+
+import "testing"
+
+// TestOracleProfileEngine runs the matrix-profile engine differential over
+// the fuzz corpus: STOMP streaming joins against the naive sliding scan
+// (TolFFT), claimed-neighbor recomputation, and the pre-cancelled-context
+// contract. Part of the `make oracle` schedule via the Oracle run filter.
+func TestOracleProfileEngine(t *testing.T) {
+	for _, seed := range fuzzSeeds(t) {
+		r := &Report{}
+		FuzzProfile(r, seed)
+		if len(r.Discrepancies) > 0 {
+			t.Errorf("seed %d:\n%s", seed, r)
+		} else {
+			t.Logf("seed %d: profile oracle passed %d checks", seed, r.Checks)
+		}
+	}
+}

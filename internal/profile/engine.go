@@ -1,0 +1,386 @@
+package profile
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/fft"
+	"repro/internal/par"
+)
+
+// DefaultBlockRows is the default number of profile rows per dispatch
+// block. Each block seeds its leading row independently (one FFT scan for
+// dot-product measures), so smaller blocks buy cancellation granularity
+// and load balance at the price of more seeds; 64 amortizes the seed to
+// well under the streamed rows it unlocks while keeping hundreds of
+// blocks in flight at engine scale.
+const DefaultBlockRows = 64
+
+// Options configures an Engine.
+type Options struct {
+	// Measure selects the profile distance; nil means ZNormEuclidean().
+	Measure Measure
+	// Workers caps dispatch parallelism; 0 means par.Workers over the
+	// block count. 1 pins the serial path (allocation-free warm).
+	Workers int
+	// BlockRows overrides DefaultBlockRows. The block layout only affects
+	// scheduling, never values: every row is computed from its own
+	// block-local stream, so results are bitwise identical across block
+	// sizes and worker counts.
+	BlockRows int
+	// Anytime dispatches blocks in a deterministic shuffled order, so a
+	// cancelled run's completed rows spread across the whole profile and
+	// the partial result approximates the full join everywhere rather
+	// than covering a prefix.
+	Anytime bool
+	// Progress, when non-nil, is called after every completed block (and
+	// after the partial block a cancellation interrupts) with the total
+	// finished row count; calls are serialized and totals are
+	// non-decreasing. Callers bridge this to run-core task events.
+	Progress func(doneRows, totalRows int)
+}
+
+// Result is one computed (or partially computed) profile join.
+type Result struct {
+	// Values[i] is the smallest distance from window i of the query
+	// series to any admissible window of the target (+Inf when none —
+	// every candidate excluded or non-finite), and Indices[i] the argmin
+	// window offset (-1 when none). Rows a cancelled run never reached
+	// keep +Inf/-1 with Done[i] false.
+	Values  []float64
+	Indices []int
+	// Done marks rows whose Values/Indices entries are final; completed
+	// rows of a cancelled run are bitwise identical to the full join's.
+	Done   []bool
+	Window int
+	// SelfJoin records whether the join was a self-join, and Exclusion
+	// the applied trivial-match exclusion radius (0 for AB-joins).
+	SelfJoin  bool
+	Exclusion int
+	// Completed is the fraction of rows finished before return: 1 for a
+	// full run, in [0, 1) after a cancellation.
+	Completed float64
+}
+
+// anytimeSeed fixes the block permutation of anytime mode, keeping
+// approximate runs deterministic for a given join size.
+const anytimeSeed = 0x5706
+
+// Engine computes matrix-profile joins, reusing FFT plans, window
+// statistics, and per-worker scratch across calls so warm joins of the
+// same shape allocate nothing. An Engine is not safe for concurrent use;
+// each concurrent join needs its own.
+type Engine struct {
+	opts    Options
+	statsA  WindowStats
+	statsB  WindowStats
+	planA   fft.SlidingPlan // query-series spectrum, seeds the j = 0 column
+	planB   fft.SlidingPlan // target-series spectrum, seeds block leading rows
+	col0    []float64
+	cbuf    []complex128
+	order   []int
+	scratch []*workerScratch
+
+	mu   sync.Mutex
+	done int
+}
+
+type workerScratch struct {
+	cross []float64
+	dist  []float64
+	cbuf  []complex128
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.Measure == nil {
+		opts.Measure = ZNormEuclidean()
+	}
+	if opts.BlockRows <= 0 {
+		opts.BlockRows = DefaultBlockRows
+	}
+	return &Engine{opts: opts}
+}
+
+// SelfJoin computes the self-join matrix profile of t at window w: for
+// every window, the distance to its nearest neighbor outside the
+// trivial-match exclusion zone (radius max(1, w/2)). On cancellation the
+// partial Result is still returned alongside the context error.
+func (e *Engine) SelfJoin(ctx context.Context, t []float64, w int) (*Result, error) {
+	res := &Result{}
+	err := e.SelfJoinInto(ctx, t, w, res)
+	return res, err
+}
+
+// SelfJoinInto is SelfJoin writing into a caller-owned Result whose
+// backing slices are reused, so warm repeated joins allocate nothing.
+func (e *Engine) SelfJoinInto(ctx context.Context, t []float64, w int, res *Result) error {
+	return e.join(ctx, t, t, w, true, res)
+}
+
+// ABJoin computes the AB-join profile: for every window of a, the
+// distance to its nearest window of b, with no exclusion zone (a and b
+// are distinct series, so no match is trivial).
+func (e *Engine) ABJoin(ctx context.Context, a, b []float64, w int) (*Result, error) {
+	res := &Result{}
+	err := e.ABJoinInto(ctx, a, b, w, res)
+	return res, err
+}
+
+// ABJoinInto is ABJoin writing into a caller-owned Result.
+func (e *Engine) ABJoinInto(ctx context.Context, a, b []float64, w int, res *Result) error {
+	return e.join(ctx, a, b, w, false, res)
+}
+
+// SelfJoin is the package-level convenience over a throwaway engine.
+func SelfJoin(ctx context.Context, t []float64, w int, opts Options) (*Result, error) {
+	return New(opts).SelfJoin(ctx, t, w)
+}
+
+// ABJoin is the package-level convenience over a throwaway engine.
+func ABJoin(ctx context.Context, a, b []float64, w int, opts Options) (*Result, error) {
+	return New(opts).ABJoin(ctx, a, b, w)
+}
+
+func (e *Engine) join(ctx context.Context, a, b []float64, w int, self bool, res *Result) error {
+	if w < 2 {
+		panic(fmt.Sprintf("profile: window %d < 2", w))
+	}
+	if w > len(a) || w > len(b) {
+		panic(fmt.Sprintf("profile: window %d out of range for series lengths %d and %d",
+			w, len(a), len(b)))
+	}
+	m := e.opts.Measure
+	rows := len(a) - w + 1
+	cols := len(b) - w + 1
+
+	e.statsA.compute(a, w)
+	sa := &e.statsA
+	sb := sa
+	if !self {
+		e.statsB.compute(b, w)
+		sb = &e.statsB
+	}
+
+	excl := 0
+	if self {
+		excl = w / 2
+		if excl < 1 {
+			excl = 1
+		}
+	}
+
+	res.Values = resizeFloat(res.Values, rows)
+	res.Indices = resizeInt(res.Indices, rows)
+	res.Done = resizeBool(res.Done, rows)
+	for i := 0; i < rows; i++ {
+		res.Values[i] = math.Inf(1)
+		res.Indices[i] = -1
+		res.Done[i] = false
+	}
+	res.Window = w
+	res.SelfJoin = self
+	res.Exclusion = excl
+	res.Completed = 0
+	e.done = 0
+
+	// FFT row seeding is only sound when every sample is finite: a single
+	// NaN/Inf poisons the whole padded transform, where direct summation
+	// confines it to the windows that contain it.
+	fftSeed := m.DotCross() && !sa.hasNF && !sb.hasNF
+	if fftSeed {
+		e.planB.Reset(b, w)
+		if cap(e.cbuf) < e.planB.PaddedLen() {
+			e.cbuf = make([]complex128, e.planB.PaddedLen())
+		}
+	}
+
+	// Column seed: cross(a_i, b_0) for every row i — the j = 0 entry the
+	// in-place diagonal recurrence cannot reach. It is b's leading window
+	// scanned against a, so the self-join reuses the target spectrum and
+	// only AB-joins plan the query side.
+	e.col0 = resizeFloat(e.col0, rows)
+	switch {
+	case fftSeed && self:
+		e.planB.SlidingDots(b[:w], e.col0, e.cbuf)
+	case fftSeed:
+		e.planA.Reset(a, w)
+		if cap(e.cbuf) < e.planA.PaddedLen() {
+			e.cbuf = make([]complex128, e.planA.PaddedLen())
+		}
+		e.planA.SlidingDots(b[:w], e.col0, e.cbuf[:e.planA.PaddedLen()])
+	default:
+		for i := 0; i < rows; i++ {
+			e.col0[i] = m.InitCross(a, b, i, 0, w)
+		}
+	}
+
+	blockRows := e.opts.BlockRows
+	blocks := (rows + blockRows - 1) / blockRows
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = par.Workers(blocks)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	for len(e.scratch) < workers {
+		e.scratch = append(e.scratch, &workerScratch{})
+	}
+	for _, ws := range e.scratch[:workers] {
+		ws.cross = resizeFloat(ws.cross, cols)
+		ws.dist = resizeFloat(ws.dist, cols)
+		if fftSeed {
+			if cap(ws.cbuf) < e.planB.PaddedLen() {
+				ws.cbuf = make([]complex128, e.planB.PaddedLen())
+			}
+			ws.cbuf = ws.cbuf[:e.planB.PaddedLen()]
+		}
+	}
+
+	if e.opts.Anytime {
+		e.order = resizeInt(e.order, blocks)
+		rng := rand.New(rand.NewSource(anytimeSeed))
+		for i := range e.order {
+			e.order[i] = i
+		}
+		rng.Shuffle(blocks, func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] })
+	}
+
+	var err error
+	if workers <= 1 {
+		// Inline dispatch: same block order and per-row arithmetic as the
+		// parallel path, without the worker closure, so warm single-worker
+		// joins stay allocation-free.
+		for bi := 0; bi < blocks; bi++ {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
+			idx := bi
+			if e.opts.Anytime {
+				idx = e.order[bi]
+			}
+			e.runBlock(ctx, e.scratch[0], idx, a, b, w, cols, fftSeed, sa, sb, res)
+		}
+		if ctx != nil {
+			err = ctx.Err()
+		}
+	} else {
+		err = par.ForShardCtx(ctx, blocks, workers, func(worker, bi int) {
+			if e.opts.Anytime {
+				bi = e.order[bi]
+			}
+			e.runBlock(ctx, e.scratch[worker], bi, a, b, w, cols, fftSeed, sa, sb, res)
+		})
+	}
+
+	completed := 0
+	for _, d := range res.Done {
+		if d {
+			completed++
+		}
+	}
+	res.Completed = float64(completed) / float64(rows)
+	return err
+}
+
+// runBlock computes rows [bi*BlockRows, min(rows, (bi+1)*BlockRows)): the
+// leading row seeded from scratch, every later row streamed with the O(1)
+// diagonal update. Cancellation is observed between rows, so a cancelled
+// block still leaves every row it finished final.
+func (e *Engine) runBlock(ctx context.Context, ws *workerScratch, bi int, a, b []float64, w, cols int, fftSeed bool, sa, sb *WindowStats, res *Result) {
+	m := e.opts.Measure
+	rows := len(res.Values)
+	r0 := bi * e.opts.BlockRows
+	r1 := r0 + e.opts.BlockRows
+	if r1 > rows {
+		r1 = rows
+	}
+	rowsDone := 0
+	defer func() {
+		if rowsDone == 0 || e.opts.Progress == nil {
+			return
+		}
+		e.mu.Lock()
+		e.done += rowsDone
+		e.opts.Progress(e.done, rows)
+		e.mu.Unlock()
+	}()
+
+	if ctx != nil && ctx.Err() != nil {
+		return
+	}
+	cross := ws.cross
+	if fftSeed {
+		e.planB.SlidingDots(a[r0:r0+w], cross, ws.cbuf)
+	} else {
+		for j := 0; j < cols; j++ {
+			cross[j] = m.InitCross(a, b, r0, j, w)
+		}
+	}
+	e.finalizeRow(r0, cross, ws.dist[:cols], sa, sb, res)
+	rowsDone++
+
+	repair := sa.hasNF || sb.hasNF
+	for i := r0 + 1; i < r1; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return
+		}
+		m.UpdateRow(cross, a, b, i, w, cols)
+		cross[0] = e.col0[i]
+		if repair {
+			e.repairRow(cross, a, b, i, w, cols, sa, sb)
+		}
+		e.finalizeRow(i, cross, ws.dist[:cols], sa, sb, res)
+		rowsDone++
+	}
+}
+
+// repairRow recomputes streamed cross terms whose O(1) recurrence passed
+// through non-finite samples: a cell is suspect when its own windows or
+// its diagonal predecessor's contain NaN/Inf (the recurrence subtracts
+// the dropped product, so Inf-Inf leaves NaN in an otherwise clean cell).
+// Direct summation restores the exact value; clean cells are untouched,
+// keeping the amortized cost O(1) per cell when poison is sparse.
+func (e *Engine) repairRow(cross []float64, a, b []float64, i, w, cols int, sa, sb *WindowStats) {
+	m := e.opts.Measure
+	if sa.poisoned(i) || sa.poisoned(i-1) {
+		for j := 1; j < cols; j++ {
+			cross[j] = m.InitCross(a, b, i, j, w)
+		}
+		return
+	}
+	for j := 1; j < cols; j++ {
+		if sb.poisoned(j) || sb.poisoned(j-1) {
+			cross[j] = m.InitCross(a, b, i, j, w)
+		}
+	}
+}
+
+// finalizeRow maps row i's cross terms to distances and records the row
+// minimum, skipping the self-join exclusion zone and NaN distances (which
+// sanitize to +Inf downstream and can never be a nearest neighbor).
+func (e *Engine) finalizeRow(i int, cross, dist []float64, sa, sb *WindowStats, res *Result) {
+	e.opts.Measure.DistanceRow(cross, dist, i, sa, sb)
+	lo, hi := 0, -1
+	if res.SelfJoin {
+		lo, hi = i-res.Exclusion, i+res.Exclusion
+	}
+	best, bestJ := math.Inf(1), -1
+	for j, d := range dist {
+		if j >= lo && j <= hi {
+			continue
+		}
+		if d < best {
+			best, bestJ = d, j
+		}
+	}
+	if bestJ >= 0 {
+		res.Values[i] = best
+		res.Indices[i] = bestJ
+	}
+	res.Done[i] = true
+}

@@ -1,0 +1,168 @@
+package subsequence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDiscordAllInfSentinel is the regression test for the Discord
+// initialization bug: with w=10 over 14 points there are 5 windows and an
+// exclusion radius of 5, so every window's zone covers the whole profile
+// and all entries are +Inf. The old code initialized best=0 and only
+// skipped +Inf inside the loop, returning offset 0 with distance +Inf as
+// if it were a real anomaly; the fix returns the (-1, +Inf) sentinel.
+func TestDiscordAllInfSentinel(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	series := make([]float64, 14)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	prof, index := MatrixProfile(series, 10)
+	for i := range prof {
+		if !math.IsInf(prof[i], 1) || index[i] != -1 {
+			t.Fatalf("row %d: %v/%d, want +Inf/-1 (zone covers all windows)", i, prof[i], index[i])
+		}
+	}
+	offset, dist := Discord(series, 10)
+	if offset != -1 {
+		t.Errorf("Discord offset = %d, want -1 sentinel", offset)
+	}
+	if !math.IsInf(dist, 1) {
+		t.Errorf("Discord dist = %v, want +Inf", dist)
+	}
+	i, j, mdist := Motif(series, 10)
+	if i != -1 || j != -1 || !math.IsInf(mdist, 1) {
+		t.Errorf("Motif = (%d, %d, %v), want (-1, -1, +Inf)", i, j, mdist)
+	}
+}
+
+// TestTopKCeilingFiltered is the regression test for TopK reporting
+// constant-window sqrt(2w) ceiling entries as matches: on a series with a
+// long flat tail, asking for more matches than the varying head can
+// provide used to pad the result with phantom hits from the tail.
+func TestTopKCeilingFiltered(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const head, tail, w = 60, 60, 10
+	series := make([]float64, head+tail)
+	for i := 0; i < head; i++ {
+		series[i] = rng.NormFloat64()
+	}
+	for i := head; i < head+tail; i++ {
+		series[i] = 2.5 // flat tail
+	}
+	q := append([]float64(nil), series[10:10+w]...)
+	matches := TopK(series, q, 30)
+	if len(matches) == 0 {
+		t.Fatal("no matches at all")
+	}
+	if len(matches) >= 30 {
+		t.Errorf("TopK returned %d matches; the flat tail cannot supply that many genuine hits",
+			len(matches))
+	}
+	for _, m := range matches {
+		flat := true
+		for _, v := range series[m.Offset : m.Offset+w] {
+			if v != series[m.Offset] {
+				flat = false
+				break
+			}
+		}
+		if flat {
+			t.Errorf("match at offset %d (distance %v) is a constant window", m.Offset, m.Distance)
+		}
+	}
+}
+
+// TestTopKConstantQuery: a zero-variance query has no genuine matches at
+// all — every profile entry is the ceiling — so TopK returns nothing.
+func TestTopKConstantQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	series := make([]float64, 50)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	q := []float64{3, 3, 3, 3, 3}
+	if matches := TopK(series, q, 5); len(matches) != 0 {
+		t.Errorf("constant query returned %d matches, want 0", len(matches))
+	}
+}
+
+// TestSearcherProfileMatchesDistanceProfile pins the hoisted-plan rewrite:
+// repeated Profile calls on one Searcher are bitwise identical to the
+// one-shot DistanceProfile.
+func TestSearcherProfileMatchesDistanceProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	series := make([]float64, 120)
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	const w = 9
+	s := NewSearcher(series, w)
+	var dst []float64
+	for trial := 0; trial < 5; trial++ {
+		q := series[trial*10 : trial*10+w]
+		dst = s.Profile(q, dst)
+		want := DistanceProfile(series, q)
+		for i := range want {
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d entry %d: searcher %v, one-shot %v", trial, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMatrixProfileSTAMPMatchesEngine cross-checks the two formulations:
+// the per-row-FFT STAMP baseline and the STOMP streaming engine agree to
+// FFT tolerance, and each engine neighbor reproduces its claimed value.
+func TestMatrixProfileSTAMPMatchesEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	series := make([]float64, 200)
+	v := 0.0
+	for i := range series {
+		v += rng.NormFloat64() * 0.5
+		series[i] = v
+	}
+	for _, w := range []int{8, 9} {
+		stampP, stampI := MatrixProfileSTAMP(series, w)
+		engP, engI := MatrixProfile(series, w)
+		if len(stampP) != len(engP) {
+			t.Fatalf("w=%d: length mismatch %d vs %d", w, len(stampP), len(engP))
+		}
+		for i := range stampP {
+			diff := math.Abs(stampP[i] - engP[i])
+			scale := math.Max(1, math.Max(math.Abs(stampP[i]), math.Abs(engP[i])))
+			if diff > 1e-6*scale {
+				t.Errorf("w=%d row %d: STAMP %v engine %v", w, i, stampP[i], engP[i])
+			}
+			excl := w / 2
+			if excl < 1 {
+				excl = 1
+			}
+			if j := engI[i]; j >= 0 && j >= i-excl && j <= i+excl {
+				t.Errorf("w=%d row %d: engine neighbor %d inside zone", w, i, j)
+			}
+			_ = stampI
+		}
+	}
+}
+
+// TestABProfileSelfMatch: AB-joining a series with itself has no
+// exclusion zone, so every window matches itself at (near) zero.
+func TestABProfileSelfMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	series := make([]float64, 80)
+	v := 0.0
+	for i := range series {
+		v += rng.NormFloat64()
+		series[i] = v
+	}
+	prof, _ := ABProfile(series, series, 8)
+	for i, d := range prof {
+		// FFT rounding through sqrt(2w(1-corr)) leaves ~1e-5 residue on
+		// exact self-matches.
+		if d > 1e-4 {
+			t.Errorf("row %d: self AB distance %v, want ~0", i, d)
+		}
+	}
+}

@@ -531,14 +531,26 @@ func TopKMatches(t, q []float64, k int) []SubsequenceMatch { return subsequence.
 // MatrixProfile computes the self-join matrix profile of t for window w:
 // each subsequence's z-normalized distance to its nearest non-trivial
 // neighbor, the primitive behind motif discovery and anomaly detection.
+// It runs on the STOMP streaming engine (internal/profile), O(n^2) total
+// work instead of STAMP's O(n^2 log n).
 func MatrixProfile(t []float64, w int) (profile []float64, index []int) {
 	return subsequence.MatrixProfile(t, w)
 }
 
-// Motif returns the best motif pair of t for window w.
+// ABMatrixProfile computes the AB-join matrix profile: for each window of
+// a, its z-normalized distance to the nearest window of b, with no
+// exclusion zone (the two series are distinct by assumption).
+func ABMatrixProfile(a, b []float64, w int) (profile []float64, index []int) {
+	return subsequence.ABProfile(a, b, w)
+}
+
+// Motif returns the best motif pair of t for window w, or (-1, -1, +Inf)
+// when no window has a valid non-trivial neighbor.
 func Motif(t []float64, w int) (i, j int, dist float64) { return subsequence.Motif(t, w) }
 
-// Discord returns the top anomaly of t for window w.
+// Discord returns the top anomaly of t for window w, or (-1, +Inf) when
+// every profile entry is undefined (e.g. the exclusion zone covers all
+// neighbors).
 func Discord(t []float64, w int) (offset int, dist float64) { return subsequence.Discord(t, w) }
 
 //
