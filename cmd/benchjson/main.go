@@ -4,9 +4,15 @@
 // command can sit at the end of a pipeline without hiding the run; the
 // JSON goes to the file named by -o (or stdout when -o is empty).
 //
+// When a benchmark name repeats (a `go test -count=N` run), the record
+// keeps the minimum ns/op across repetitions: co-tenant interference on
+// shared machines only ever adds time, so min-of-N estimates the
+// benchmark's true cost far more stably than any single sample — this is
+// what makes the bench-compare regression gate usable on noisy hosts.
+//
 // Usage:
 //
-//	go test -bench GridTuning -benchmem ./internal/search | benchjson -o BENCH_tuning.json
+//	go test -bench GridTuning -count=3 -benchmem ./internal/search | benchjson -o BENCH_tuning.json
 package main
 
 import (
@@ -40,6 +46,7 @@ func main() {
 	flag.Parse()
 
 	var records []Record
+	index := map[string]int{} // name -> position in records
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -58,6 +65,13 @@ func main() {
 		if m[6] != "" {
 			rec.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
 		}
+		if at, seen := index[rec.Name]; seen {
+			if rec.NsPerOp < records[at].NsPerOp {
+				records[at] = rec
+			}
+			continue
+		}
+		index[rec.Name] = len(records)
 		records = append(records, rec)
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,188 @@
+package corpus_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func key(i int) corpus.Key {
+	return corpus.Key{FP: corpus.Fingerprint{Count: i, Points: i, Hash: uint64(i)}, Measure: "m", Band: "b"}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := corpus.NewCache(3)
+	for i := 1; i <= 4; i++ {
+		c.Put(key(i), i)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatalf("oldest entry survived eviction")
+	}
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != key(4) || keys[2] != key(2) {
+		t.Fatalf("MRU order wrong: %v", keys)
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheGetPromotes(t *testing.T) {
+	c := corpus.NewCache(2)
+	c.Put(key(1), 1)
+	c.Put(key(2), 2)
+	if _, ok := c.Get(key(1)); !ok {
+		t.Fatalf("entry 1 missing")
+	}
+	c.Put(key(3), 3) // must evict 2, not the just-touched 1
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatalf("recently-used entry evicted instead of LRU")
+	}
+	if v, ok := c.Get(key(1)); !ok || v.(int) != 1 {
+		t.Fatalf("promoted entry lost: %v %v", v, ok)
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := corpus.NewCache(2)
+	c.Put(key(1), 1)
+	c.Put(key(2), 2)
+	c.Put(key(1), 10) // refresh, no growth
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after refresh, want 2", c.Len())
+	}
+	if v, _ := c.Get(key(1)); v.(int) != 10 {
+		t.Fatalf("refresh kept stale value %v", v)
+	}
+	c.Put(key(3), 3) // 1 was refreshed to MRU; 2 must go
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatalf("refresh did not promote entry 1")
+	}
+}
+
+// Same-shape corpora fingerprint differently, so their cache keys never
+// alias even with identical measure and band strings.
+func TestCacheKeysDoNotAliasAcrossContent(t *testing.T) {
+	a := corpus.FingerprintOf(testSeries(20, 8, 32))
+	b := corpus.FingerprintOf(testSeries(21, 8, 32))
+	c := corpus.NewCache(4)
+	c.Put(corpus.Key{FP: a, Measure: "dtw", Band: "tuned"}, "A")
+	c.Put(corpus.Key{FP: b, Measure: "dtw", Band: "tuned"}, "B")
+	if c.Len() != 2 {
+		t.Fatalf("same-shape corpora collapsed to one entry")
+	}
+	if v, _ := c.Get(corpus.Key{FP: a, Measure: "dtw", Band: "tuned"}); v.(string) != "A" {
+		t.Fatalf("wrong value for corpus A: %v", v)
+	}
+}
+
+func TestGetOrBuildBuildsOnce(t *testing.T) {
+	c := corpus.NewCache(4)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	const workers = 16
+	out := make([]any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, err := c.GetOrBuildCtx(context.Background(), key(1), func(context.Context) (any, error) {
+				builds.Add(1)
+				return "built", nil
+			})
+			if err != nil {
+				t.Errorf("worker %d: %v", w, err)
+			}
+			out[w] = v
+		}(w)
+	}
+	wg.Wait()
+	if builds.Load() != 1 {
+		t.Fatalf("builder ran %d times, want 1", builds.Load())
+	}
+	for w, v := range out {
+		if v.(string) != "built" {
+			t.Fatalf("worker %d got %v", w, v)
+		}
+	}
+	if st := c.Stats(); st.Builds != 1 {
+		t.Fatalf("stats.Builds = %d, want 1", st.Builds)
+	}
+}
+
+func TestGetOrBuildErrorNotCached(t *testing.T) {
+	c := corpus.NewCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	build := func(context.Context) (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return "ok", nil
+	}
+	if _, err := c.GetOrBuildCtx(context.Background(), key(1), build); !errors.Is(err, boom) {
+		t.Fatalf("first call: %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached")
+	}
+	v, err := c.GetOrBuildCtx(context.Background(), key(1), build)
+	if err != nil || v.(string) != "ok" {
+		t.Fatalf("retry after error: %v, %v", v, err)
+	}
+}
+
+func TestGetOrBuildConcurrentDistinctKeys(t *testing.T) {
+	c := corpus.NewCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				k := key(i % 8)
+				v, err := c.GetOrBuildCtx(context.Background(), k, func(context.Context) (any, error) {
+					return fmt.Sprintf("v%d", k.FP.Count), nil
+				})
+				if err != nil || v.(string) != fmt.Sprintf("v%d", k.FP.Count) {
+					t.Errorf("worker %d: key %d got %v, %v", w, k.FP.Count, v, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Builds != 8 {
+		t.Fatalf("builds = %d, want 8", st.Builds)
+	}
+}
+
+func TestGetOrBuildWaiterCancelled(t *testing.T) {
+	c := corpus.NewCache(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.GetOrBuildCtx(context.Background(), key(1), func(context.Context) (any, error) {
+			close(started)
+			<-release
+			return "slow", nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.GetOrBuildCtx(ctx, key(1), func(context.Context) (any, error) {
+		t.Error("waiter must not run the builder")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	close(release)
+}

@@ -1,0 +1,278 @@
+package corpus_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/elastic"
+	"repro/internal/index"
+	"repro/internal/kernel"
+	"repro/internal/measure"
+)
+
+// testSeries returns n deterministic pseudo-random series of length m.
+func testSeries(seed int64, n, m int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		s := make([]float64, m)
+		for j := range s {
+			s[j] = rng.NormFloat64()
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	series := testSeries(1, 12, 32)
+	a := corpus.FingerprintOf(series)
+	b := corpus.FingerprintOf(series)
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %v vs %v", a, b)
+	}
+	if a.Count != 12 || a.Points != 12*32 {
+		t.Fatalf("structural fields wrong: %v", a)
+	}
+}
+
+func TestFingerprintOrderSensitive(t *testing.T) {
+	series := testSeries(2, 6, 16)
+	a := corpus.FingerprintOf(series)
+	swapped := append([][]float64(nil), series...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	b := corpus.FingerprintOf(swapped)
+	if a == b {
+		t.Fatalf("fingerprint ignores series order: %v", a)
+	}
+}
+
+// Same-shape corpora with different content must not collide: the cache
+// keys derived from fingerprints would otherwise alias across datasets of
+// identical dimensions.
+func TestFingerprintSameShapeDifferentData(t *testing.T) {
+	a := corpus.FingerprintOf(testSeries(3, 10, 64))
+	b := corpus.FingerprintOf(testSeries(4, 10, 64))
+	if a.Count != b.Count || a.Points != b.Points {
+		t.Fatalf("shapes differ: %v vs %v", a, b)
+	}
+	if a.Hash == b.Hash {
+		t.Fatalf("same-shape corpora collided: %v", a)
+	}
+}
+
+func TestFingerprintDistinguishesBitPatterns(t *testing.T) {
+	a := corpus.FingerprintOf([][]float64{{0, 1}})
+	b := corpus.FingerprintOf([][]float64{{math.Copysign(0, -1), 1}})
+	if a == b {
+		t.Fatalf("+0 and -0 fingerprint identically: %v", a)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	series := testSeries(5, 4, 8)
+	s := corpus.Build(series, corpus.Options{})
+	if !s.Covers(series) {
+		t.Fatalf("snapshot does not cover its own series")
+	}
+	copied := make([][]float64, len(series))
+	for i := range series {
+		copied[i] = append([]float64(nil), series[i]...)
+	}
+	if s.Covers(copied) {
+		t.Fatalf("snapshot covers equal-value copies (must be same rows)")
+	}
+	if s.Covers(series[:3]) {
+		t.Fatalf("snapshot covers a prefix")
+	}
+	var nilSnap *corpus.Snapshot
+	if nilSnap.Covers(series) {
+		t.Fatalf("nil snapshot covers series")
+	}
+}
+
+func TestBuildSections(t *testing.T) {
+	series := testSeries(6, 8, 32)
+	s := corpus.Build(series, corpus.Options{Measures: []measure.Measure{
+		elastic.DTW{DeltaPercent: 10}, // LowerBounded -> bounds
+		kernel.SINK{Gamma: 1},         // GridStateful -> prep + family core
+		kernel.SINK{Gamma: 2},         // same family, second prep entry
+		kernel.GAK{Sigma: 1},          // plain Stateful -> prep
+	}})
+	prep, bounds, cores := s.Sections()
+	if bounds != 1 {
+		t.Fatalf("bounds sections = %d, want 1", bounds)
+	}
+	if prep != 3 {
+		t.Fatalf("prep sections = %d, want 3 (two SINK gammas + GAK)", prep)
+	}
+	if cores != 1 {
+		t.Fatalf("core families = %d, want 1 (SINK gammas share one family)", cores)
+	}
+	if got := s.BoundContexts(elastic.DTW{DeltaPercent: 10}); len(got) != len(series) {
+		t.Fatalf("bound contexts = %d, want %d", len(got), len(series))
+	}
+	// A gamma the build never saw still gets family cores: the whole sweep
+	// shares one GridPrepare per series.
+	if got := s.GridCores(kernel.SINK{Gamma: 7}); len(got) != len(series) {
+		t.Fatalf("family cores for unseen gamma = %d, want %d", len(got), len(series))
+	}
+	if got := s.Prepared(kernel.SINK{Gamma: 7}); got != nil {
+		t.Fatalf("full Prepare state served for unseen gamma (candidate-dependent)")
+	}
+}
+
+// Snapshot-served prepared states must be interchangeable with inline
+// Prepare: PreparedDistance over either source is bitwise identical.
+func TestPreparedStatesBitwise(t *testing.T) {
+	series := testSeries(7, 6, 64)
+	for _, sm := range []measure.Stateful{
+		kernel.SINK{Gamma: 5},
+		kernel.GAK{Sigma: 1},
+	} {
+		s := corpus.Build(series, corpus.Options{Measures: []measure.Measure{sm}})
+		got, err := s.PreparedStates(context.Background(), sm)
+		if err != nil {
+			t.Fatalf("%s: PreparedStates: %v", sm.Name(), err)
+		}
+		if got == nil {
+			t.Fatalf("%s: snapshot holds no prepared states", sm.Name())
+		}
+		for i := range series {
+			for j := range series {
+				want := sm.PreparedDistance(sm.Prepare(series[i]), sm.Prepare(series[j]))
+				have := sm.PreparedDistance(got[i], got[j])
+				if math.Float64bits(want) != math.Float64bits(have) {
+					t.Fatalf("%s: d(%d,%d) = %v from snapshot, %v inline", sm.Name(), i, j, have, want)
+				}
+			}
+		}
+	}
+}
+
+// States specialized from family cores for a gamma the build never saw
+// must match that gamma's own Prepare bitwise (GridStateful contract).
+func TestPreparedStatesSpecializeFromCores(t *testing.T) {
+	series := testSeries(8, 5, 32)
+	s := corpus.Build(series, corpus.Options{Measures: []measure.Measure{kernel.SINK{Gamma: 1}}})
+	unseen := kernel.SINK{Gamma: 9}
+	got, err := s.PreparedStates(context.Background(), unseen)
+	if err != nil || got == nil {
+		t.Fatalf("PreparedStates for unseen gamma: %v, err %v", got, err)
+	}
+	for i := range series {
+		want := unseen.PreparedDistance(unseen.Prepare(series[i]), unseen.Prepare(series[(i+1)%len(series)]))
+		have := unseen.PreparedDistance(got[i], got[(i+1)%len(series)])
+		if math.Float64bits(want) != math.Float64bits(have) {
+			t.Fatalf("specialized state diverges at %d: %v vs %v", i, have, want)
+		}
+	}
+}
+
+func TestFiniteFlags(t *testing.T) {
+	series := [][]float64{
+		{1, 2, 3},
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+		{},
+	}
+	s := corpus.Build(series, corpus.Options{})
+	want := []bool{true, false, false, true}
+	for i, w := range want {
+		if s.Finite()[i] != w {
+			t.Fatalf("finite[%d] = %v, want %v", i, s.Finite()[i], w)
+		}
+	}
+}
+
+func TestPAAAndSAXWordsMatchIndex(t *testing.T) {
+	series := testSeries(9, 7, 40)
+	const segments, alphabet = 8, 4
+	s := corpus.Build(series, corpus.Options{
+		PAASegments: []int{segments},
+		SAX:         []corpus.SAXSpec{{Segments: segments, Alphabet: alphabet}},
+	})
+	words := s.PAA(segments)
+	if words == nil {
+		t.Fatalf("no PAA words at %d segments", segments)
+	}
+	sx := index.NewSAX(segments, alphabet)
+	saxWords := s.SAXWords(corpus.SAXSpec{Segments: segments, Alphabet: alphabet})
+	for i, x := range series {
+		wantPAA := index.PAA(x, segments)
+		for j := range wantPAA {
+			if math.Float64bits(words[i][j]) != math.Float64bits(wantPAA[j]) {
+				t.Fatalf("PAA word %d diverges at %d", i, j)
+			}
+		}
+		wantSAX := sx.Symbolize(x)
+		for j := range wantSAX {
+			if saxWords[i][j] != wantSAX[j] {
+				t.Fatalf("SAX word %d diverges at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptySeriesSkipWords(t *testing.T) {
+	series := [][]float64{{1, 2, 3, 4}, {}}
+	s := corpus.Build(series, corpus.Options{
+		PAASegments: []int{2},
+		SAX:         []corpus.SAXSpec{{Segments: 2, Alphabet: 3}},
+	})
+	if w := s.PAA(2); w[0] == nil || w[1] != nil {
+		t.Fatalf("empty series must leave a nil PAA word: %v", w)
+	}
+	if w := s.SAXWords(corpus.SAXSpec{Segments: 2, Alphabet: 3}); w[0] == nil || w[1] != nil {
+		t.Fatalf("empty series must leave a nil SAX word: %v", w)
+	}
+}
+
+// NewEDIndexWithPAA over snapshot words must search identically to the
+// recomputing constructor.
+func TestEDIndexWithSnapshotPAA(t *testing.T) {
+	refs := testSeries(10, 20, 48)
+	queries := testSeries(11, 5, 48)
+	const segments = 8
+	s := corpus.Build(refs, corpus.Options{PAASegments: []int{segments}})
+	inline := index.NewEDIndex(refs, segments)
+	reused := index.NewEDIndexWithPAA(refs, s.PAA(segments), segments)
+	for qi, q := range queries {
+		wb, wd, _ := inline.NN(q)
+		gb, gd, _ := reused.NN(q)
+		if wb != gb || math.Float64bits(wd) != math.Float64bits(gd) {
+			t.Fatalf("query %d: snapshot-PAA index found (%d,%v), inline (%d,%v)", qi, gb, gd, wb, wd)
+		}
+	}
+}
+
+func TestBuildCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := corpus.BuildCtx(ctx, testSeries(12, 64, 64), corpus.Options{
+		Measures: []measure.Measure{kernel.SINK{Gamma: 1}},
+	})
+	if err == nil {
+		t.Fatalf("cancelled build returned no error")
+	}
+}
+
+func TestHitCounters(t *testing.T) {
+	series := testSeries(13, 4, 16)
+	sink := kernel.SINK{Gamma: 3}
+	dtw := elastic.DTW{DeltaPercent: 10}
+	s := corpus.Build(series, corpus.Options{Measures: []measure.Measure{sink, dtw}})
+	if h := s.Hits(); h.Total() != 0 {
+		t.Fatalf("fresh snapshot has hits: %+v", h)
+	}
+	s.Prepared(sink)
+	s.BoundContexts(dtw)
+	s.GridCores(sink)
+	h := s.Hits()
+	if h.Prepared != int64(len(series)) || h.Bounds != int64(len(series)) || h.Cores != int64(len(series)) {
+		t.Fatalf("hits = %+v, want %d per section", h, len(series))
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/corpus"
 	"repro/internal/dataset"
 	"repro/internal/measure"
 	"repro/internal/norm"
@@ -39,6 +40,12 @@ func Matrix(m measure.Measure, queries, refs [][]float64) [][]float64 {
 // matrix is partially filled and must be discarded. An uncancelled call is
 // bitwise-identical to Matrix.
 func MatrixCtx(ctx context.Context, m measure.Measure, queries, refs [][]float64) ([][]float64, error) {
+	return matrixCtx(ctx, m, queries, refs, nil)
+}
+
+// matrixCtx is the shared matrix core: snap, when non-nil, serves prepared
+// states for whichever side it covers; everything else is computed inline.
+func matrixCtx(ctx context.Context, m measure.Measure, queries, refs [][]float64, snap *corpus.Snapshot) ([][]float64, error) {
 	n, p := len(queries), len(refs)
 	e := make([][]float64, n)
 	if n == 0 {
@@ -113,13 +120,13 @@ func MatrixCtx(ctx context.Context, m measure.Measure, queries, refs [][]float64
 	// per cell.
 	var dist func(i, j int) float64
 	if sm, ok := m.(measure.Stateful); ok {
-		pq, err := prepareAll(ctx, sm, queries, workers)
+		pq, err := preparedFor(ctx, sm, queries, snap, workers)
 		if err != nil {
 			return e, err
 		}
 		pr := pq
 		if !sameSeries(queries, refs) {
-			if pr, err = prepareAll(ctx, sm, refs, workers); err != nil {
+			if pr, err = preparedFor(ctx, sm, refs, snap, workers); err != nil {
 				return e, err
 			}
 		}
@@ -191,6 +198,23 @@ func prepareAll(ctx context.Context, sm measure.Stateful, series [][]float64, wo
 		out[i] = sm.Prepare(series[i])
 	})
 	return out, err
+}
+
+// preparedFor serves one side's prepared states from the snapshot when it
+// covers those series and holds (or can specialize) state for sm, falling
+// back to inline preparation — the states are interchangeable bitwise by
+// the Stateful/GridStateful contracts.
+func preparedFor(ctx context.Context, sm measure.Stateful, series [][]float64, snap *corpus.Snapshot, workers int) ([]any, error) {
+	if snap.Covers(series) {
+		p, err := snap.PreparedStates(ctx, sm)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			return p, nil
+		}
+	}
+	return prepareAll(ctx, sm, series, workers)
 }
 
 // Neighbors returns the argmin of every row of E: the nearest reference
@@ -313,13 +337,19 @@ func TuneSupervisedDetailed(g Grid, train [][]float64, labels []int) (measure.Me
 // cancellation; on a non-nil error the selection is meaningless (the sweep
 // stopped mid-grid) and only the error should be consulted.
 func TuneSupervisedDetailedCtx(ctx context.Context, g Grid, train [][]float64, labels []int) (measure.Measure, float64, search.GridStats, error) {
+	return tuneSupervisedCtx(ctx, g, train, labels, nil)
+}
+
+// tuneSupervisedCtx is the shared tuning core: snap, when non-nil and
+// covering train, feeds the grid engine's per-series state.
+func tuneSupervisedCtx(ctx context.Context, g Grid, train [][]float64, labels []int, snap *corpus.Snapshot) (measure.Measure, float64, search.GridStats, error) {
 	if len(g.Candidates) == 0 {
 		panic(fmt.Sprintf("eval: empty grid %q", g.Name))
 	}
 	if len(train) != len(labels) {
 		panic(fmt.Sprintf("eval: %d training series, %d labels", len(train), len(labels)))
 	}
-	gr, err := search.LeaveOneOutGridCtx(ctx, g.Candidates, train)
+	gr, err := search.LeaveOneOutGridSnapshotCtx(ctx, g.Candidates, train, snap)
 	if err != nil {
 		return g.Candidates[0], 0, gr.Stats, err
 	}

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"context"
+
+	"repro/internal/corpus"
+	"repro/internal/measure"
+	"repro/internal/search"
+)
+
+// This file wires the evaluation framework to the build-once
+// prepared-state layer of internal/corpus. Each entry point mirrors its
+// inline counterpart exactly — same dispatch, same arithmetic, bitwise
+// identical output — and differs only in where per-series state (Stateful
+// preparations, family cores, bound contexts) comes from. A nil snapshot,
+// or one built over different series, silently degrades to the inline
+// path, so callers can thread an optional snapshot without branching.
+
+// MatrixSnapshot is MatrixSnapshotCtx over a background context.
+func MatrixSnapshot(m measure.Measure, queries, refs [][]float64, snap *corpus.Snapshot) [][]float64 {
+	e, _ := MatrixSnapshotCtx(context.Background(), m, queries, refs, snap)
+	return e
+}
+
+// MatrixSnapshotCtx is MatrixCtx serving Stateful preparations from the
+// snapshot for whichever side (queries, refs, or both) it covers.
+func MatrixSnapshotCtx(ctx context.Context, m measure.Measure, queries, refs [][]float64, snap *corpus.Snapshot) ([][]float64, error) {
+	return matrixCtx(ctx, m, queries, refs, snap)
+}
+
+// TuneSupervisedSnapshotCtx is TuneSupervisedCtx feeding the tuning engine
+// per-series state from the snapshot.
+func TuneSupervisedSnapshotCtx(ctx context.Context, g Grid, train [][]float64, labels []int, snap *corpus.Snapshot) (measure.Measure, float64, error) {
+	m, acc, _, err := tuneSupervisedCtx(ctx, g, train, labels, snap)
+	return m, acc, err
+}
+
+// TuneSupervisedDetailedSnapshotCtx is TuneSupervisedDetailedCtx feeding
+// the tuning engine per-series state from the snapshot; the GridStats
+// PrepSnapshot counter reports how many states the snapshot served.
+func TuneSupervisedDetailedSnapshotCtx(ctx context.Context, g Grid, train [][]float64, labels []int, snap *corpus.Snapshot) (measure.Measure, float64, search.GridStats, error) {
+	return tuneSupervisedCtx(ctx, g, train, labels, snap)
+}

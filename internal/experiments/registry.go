@@ -91,4 +91,6 @@ func init() {
 		HotloopsAblationCtx, RenderHotloops)
 	register("profile", "STAMP/naive matrix-profile baselines vs STOMP streaming engine",
 		ProfileExperimentCtx, RenderProfile)
+	register("snapshot", "per-request preparation vs build-once corpus snapshots and LRU",
+		SnapshotAblationCtx, RenderSnapshot)
 }

@@ -470,5 +470,43 @@ func Fuzz(seed int64) *Report {
 		CheckEngines(r, p.M, queries, refs)
 		CheckEngines(r, p.M, pqueries, prefs)
 	}
+
+	// Snapshot route: snapshot-backed search/eval must be bitwise identical
+	// to build-inline. The engine sets cover duplicates/ties; the byLen
+	// panels re-use the corpus series so NaN, Inf, constant, and extreme
+	// values flow through the prepared-state layer too.
+	for _, p := range pairs {
+		CheckSnapshot(r, p.M, queries, refs, "snapshot/engine")
+		CheckSnapshot(r, p.M, pqueries, prefs, "snapshot/engine-pos")
+		for _, n := range []int{1, 7, 33} {
+			series := byLen[n]
+			if len(series) == 0 {
+				continue
+			}
+			if len(series) > 16 {
+				series = series[:16]
+			}
+			nq := len(series)
+			if nq > 4 {
+				nq = 4
+			}
+			CheckSnapshot(r, p.M, series[:nq], series, fmt.Sprintf("snapshot/len=%d", n))
+		}
+	}
+	// Grid route once per seed: a thinned DTW grid (lower-bounded family
+	// cascade) and a thinned SINK grid (shared-core GridStateful family),
+	// on well-behaved refs and on a NaN/Inf-poisoned train set.
+	degenerate := [][]float64{
+		refs[0],
+		poison(append([]float64(nil), refs[1]...), 2, math.NaN()),
+		poison(append([]float64(nil), refs[2]...), 5, math.Inf(1)),
+		constant(len(refs[0]), 0),
+		refs[3],
+		poison(append([]float64(nil), refs[4]...), 0, math.Inf(-1)),
+	}
+	for _, g := range []eval.Grid{eval.Thin(eval.DTWGrid(), 5), eval.Thin(eval.SINKGrid(), 4)} {
+		CheckSnapshotGrid(r, g, refs, "snapshot/grid")
+		CheckSnapshotGrid(r, g, degenerate, "snapshot/grid-degenerate")
+	}
 	return r
 }

@@ -7,6 +7,7 @@ import (
 
 	"time"
 
+	"repro/internal/corpus"
 	"repro/internal/measure"
 	"repro/internal/par"
 )
@@ -57,13 +58,14 @@ import (
 type GridStats struct {
 	Candidates int   // grid candidates evaluated
 	Waves      int   // warm-start dependency depth of the schedule
-	Rows       int64 // leave-one-out rows evaluated (candidates x series)
-	WarmRows   int64 // rows primed with a finite warm-start cutoff
-	Repaired   int64 // warm rows re-scanned cold (unachievable bound)
-	PrepTotal  int64 // per-series preparations a per-candidate loop runs
-	PrepShared int64 // of those, served by a family-shared preparation
-	Search     Stats // pair counters over the whole sweep
-	WarmSearch Stats // pair counters restricted to warm-primed candidates
+	Rows         int64 // leave-one-out rows evaluated (candidates x series)
+	WarmRows     int64 // rows primed with a finite warm-start cutoff
+	Repaired     int64 // warm rows re-scanned cold (unachievable bound)
+	PrepTotal    int64 // per-series preparations a per-candidate loop runs
+	PrepShared   int64 // of those, served by a family-shared preparation
+	PrepSnapshot int64 // per-series states served by a corpus snapshot
+	Search       Stats // pair counters over the whole sweep
+	WarmSearch   Stats // pair counters restricted to warm-primed candidates
 }
 
 func (g *GridStats) add(o GridStats) {
@@ -74,6 +76,7 @@ func (g *GridStats) add(o GridStats) {
 	g.Repaired += o.Repaired
 	g.PrepTotal += o.PrepTotal
 	g.PrepShared += o.PrepShared
+	g.PrepSnapshot += o.PrepSnapshot
 	g.Search.add(o.Search)
 	g.WarmSearch.add(o.WarmSearch)
 }
@@ -119,6 +122,13 @@ type TuneIndex struct {
 	covered  []bool    // candidate k is lower-bounded by the bottom's matrix
 	pairD    []float64 // n*n exact distances of the bottom candidate
 	finite   []bool    // series i contains only finite values
+
+	// snap optionally serves per-series state (family cores, prepared
+	// states, bound contexts, finiteness) instead of computing it inline;
+	// set by NewTuneIndexSnapshot only when the snapshot covers train.
+	// Snapshot state is read-only: it is never rebound, refilled, or
+	// donated to the bound arena.
+	snap *corpus.Snapshot
 }
 
 // gridFamily is a preparation-sharing group: candidates whose per-series
@@ -311,11 +321,15 @@ func (ti *TuneIndex) EvaluateCtx(ctx context.Context) (GridResult, error) {
 	}
 
 	if ti.bottom >= 0 {
-		ti.finite = make([]bool, n)
-		if err := par.ForCtx(ctx, n, par.Workers(n), func(i int) {
-			ti.finite[i] = allFinite(ti.train[i])
-		}); err != nil {
-			return res, err
+		if ti.snap != nil {
+			ti.finite = ti.snap.Finite()
+		} else {
+			ti.finite = make([]bool, n)
+			if err := par.ForCtx(ctx, n, par.Workers(n), func(i int) {
+				ti.finite[i] = allFinite(ti.train[i])
+			}); err != nil {
+				return res, err
+			}
 		}
 		if err := ti.evaluateBottom(ctx, &res.PerCandidate[ti.bottom], st); err != nil {
 			return res, err
@@ -358,6 +372,24 @@ func (ti *TuneIndex) prepareFamilies(ctx context.Context, st *GridStats) (map[in
 	for fi, f := range ti.families {
 		if f.members < 2 {
 			continue
+		}
+		// The snapshot's family cores (or verbatim prepared states) replace
+		// the inline computation wholesale: the builder produced them with
+		// the same GridPrepare/Prepare calls this loop would run.
+		if ti.snap != nil {
+			if f.grid {
+				if cores := ti.snap.GridCores(ti.cands[f.rep]); cores != nil {
+					out[fi] = cores
+					st.PrepShared += int64(f.members-1) * int64(n)
+					st.PrepSnapshot += int64(n)
+					continue
+				}
+			} else if prep := ti.snap.Prepared(ti.cands[f.rep]); prep != nil {
+				out[fi] = prep
+				st.PrepShared += int64(f.members-1) * int64(n)
+				st.PrepSnapshot += int64(n)
+				continue
+			}
 		}
 		states := make([]any, n)
 		var err error
@@ -482,11 +514,12 @@ type candEval struct {
 	n      int
 
 	// Halved path.
-	lb    measure.LowerBounded
-	ea    measure.EarlyAbandoning
-	ctxs  []measure.BoundContext
-	entry *arenaEntry // non-nil when ctxs came from the arena
-	bs    measure.BoundSharing
+	lb       measure.LowerBounded
+	ea       measure.EarlyAbandoning
+	ctxs     []measure.BoundContext
+	entry    *arenaEntry // non-nil when ctxs came from the arena
+	bs       measure.BoundSharing
+	snapCtxs bool // ctxs are snapshot-owned: pre-filled, read-only, never arena-donated
 
 	// Scan path.
 	ix *Index
@@ -522,18 +555,34 @@ func (ti *TuneIndex) evaluateWave(ctx context.Context, wave []int, shared map[in
 		ce.ea, _ = ce.m.(measure.EarlyAbandoning)
 		if ce.halved {
 			if ce.lb != nil {
-				ce.bs, _ = ce.m.(measure.BoundSharing)
-				if ce.bs != nil {
-					ce.entry = arena.checkout(ce.bs)
+				// Snapshot-owned contexts are already filled for this exact
+				// candidate; adopting them skips the setup pool entirely. They
+				// must never enter the arena: a later candidate would rebind
+				// (mutate) them, corrupting the immutable snapshot.
+				if ti.snap != nil {
+					if sctxs := ti.snap.BoundContexts(ce.m); sctxs != nil {
+						ce.ctxs = sctxs
+						ce.snapCtxs = true
+						st.PrepSnapshot += int64(n)
+					}
 				}
-				if ce.entry != nil {
-					ce.ctxs = ce.entry.ctxs
-				} else {
-					ce.ctxs = make([]measure.BoundContext, n)
+				if !ce.snapCtxs {
+					ce.bs, _ = ce.m.(measure.BoundSharing)
+					if ce.bs != nil {
+						ce.entry = arena.checkout(ce.bs)
+					}
+					if ce.entry != nil {
+						ce.ctxs = ce.entry.ctxs
+					} else {
+						ce.ctxs = make([]measure.BoundContext, n)
+					}
 				}
 			}
 		} else {
 			ce.ix = ti.newScanIndex(ce.m, shared)
+			if ce.ix.prefilled {
+				st.PrepSnapshot += int64(n)
+			}
 			// Pre-size the result so scan workers can write rows directly.
 			out[k] = Result{Indices: make([]int, n), Distances: make([]float64, n)}
 		}
@@ -541,10 +590,11 @@ func (ti *TuneIndex) evaluateWave(ctx context.Context, wave []int, shared map[in
 	}
 
 	// Per-series setup pool: bound-context fills for every candidate that
-	// needs them, flattened across the wave.
+	// needs them, flattened across the wave. Snapshot-served candidates
+	// need none.
 	var setupCands []*candEval
 	for _, ce := range evals {
-		if (ce.halved && ce.lb != nil) || (ce.ix != nil && ce.ix.needsSetup()) {
+		if (ce.halved && ce.lb != nil && !ce.snapCtxs) || (ce.ix != nil && ce.ix.needsSetup()) {
 			setupCands = append(setupCands, ce)
 		}
 	}
@@ -647,7 +697,7 @@ func (ti *TuneIndex) evaluateWave(ctx context.Context, wave []int, shared map[in
 		}
 		if ce.entry != nil {
 			arena.checkin(ce.entry, ce.m, false)
-		} else if ce.bs != nil && ce.ctxs != nil {
+		} else if ce.bs != nil && ce.ctxs != nil && !ce.snapCtxs {
 			arena.checkin(&arenaEntry{ctxs: ce.ctxs}, ce.m, true)
 		}
 	}
@@ -656,7 +706,8 @@ func (ti *TuneIndex) evaluateWave(ctx context.Context, wave []int, shared map[in
 
 // newScanIndex builds the Index of a scan-path candidate without its
 // internal parallel preparation (the wave's setup pool runs it), wiring
-// family-shared preparations when available.
+// family-shared preparations when available and adopting snapshot state —
+// which arrives already filled — when the tune index carries one.
 func (ti *TuneIndex) newScanIndex(m measure.Measure, shared map[int][]any) *Index {
 	ix := &Index{m: m, refs: ti.train}
 	if ea, ok := m.(measure.EarlyAbandoning); ok {
@@ -664,17 +715,32 @@ func (ti *TuneIndex) newScanIndex(m measure.Measure, shared map[int][]any) *Inde
 	}
 	if lb, ok := m.(measure.LowerBounded); ok {
 		ix.lb = lb
+		if ti.snap != nil {
+			if sctxs := ti.snap.BoundContexts(m); sctxs != nil {
+				ix.rctx = sctxs
+				ix.prefilled = true
+				return ix
+			}
+		}
 		ix.rctx = make([]measure.BoundContext, len(ti.train))
 	} else if sm, ok := m.(measure.Stateful); ok {
 		ix.sm = sm
+		if ti.snap != nil {
+			if prep := ti.snap.Prepared(m); prep != nil {
+				ix.rprep = prep
+				ix.prefilled = true
+				return ix
+			}
+		}
 		ix.rprep = make([]any, len(ti.train))
 	}
 	return ix
 }
 
-// needsSetup reports whether the index still requires per-series fills.
+// needsSetup reports whether the index still requires per-series fills;
+// snapshot-prefilled state needs none (and must not be overwritten).
 func (ix *Index) needsSetup() bool {
-	return ix.rctx != nil || ix.rprep != nil
+	return !ix.prefilled && (ix.rctx != nil || ix.rprep != nil)
 }
 
 // setupSeries performs candidate setup for series i: a bound-context fill

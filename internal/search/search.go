@@ -70,6 +70,11 @@ type Index struct {
 	pe    measure.PanelEvaluator
 	rctx  []measure.BoundContext
 	rprep []any
+	// prefilled marks rctx/rprep as adopted from a corpus.Snapshot: already
+	// filled, owned by the snapshot, and strictly read-only — the grid
+	// engine's setup pool must skip them and its envelope arena must never
+	// rebind them.
+	prefilled bool
 }
 
 // panelChunk is the number of candidates handed to a PanelEvaluator per
@@ -358,11 +363,18 @@ func halvedEligible(m measure.Measure) bool {
 // takes the lexicographic (distance, index) minimum — together this
 // reproduces exhaustive first-lowest-index tie-breaking exactly.
 func looHalvedCtx(ctx context.Context, m measure.Measure, train [][]float64) (Result, error) {
+	return looHalvedPrepared(ctx, m, train, nil)
+}
+
+// looHalvedPrepared is looHalvedCtx over prebuilt reference bound contexts
+// (e.g. a corpus snapshot's); nil ctxs fall back to the inline fill. The
+// contexts are only ever read by the scan — never Fill'd or rebound — so
+// sharing them across workers and across calls is safe.
+func looHalvedPrepared(ctx context.Context, m measure.Measure, train [][]float64, ctxs []measure.BoundContext) (Result, error) {
 	n := len(train)
 	lb, _ := m.(measure.LowerBounded)
 	ea, _ := m.(measure.EarlyAbandoning)
-	var ctxs []measure.BoundContext
-	if lb != nil {
+	if lb != nil && ctxs == nil {
 		ctxs = make([]measure.BoundContext, n)
 		if err := par.ForCtx(ctx, n, par.Workers(n), func(i int) {
 			c := lb.NewBoundContext(len(train[i]))
