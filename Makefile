@@ -19,10 +19,12 @@ race: check-race
 # engine's tiled dispatch (the parallel Gram fill/mirroring in
 # internal/kernel and the parallel embedding fits), the wavefront DP
 # scheduler plus the batched panel kernels, the STOMP matrix-profile
-# engine's block dispatch, the subsequence layer, the index builders, and
-# the corpus snapshot builder plus its LRU cache.
+# engine's block dispatch, the subsequence layer, the index builders (now
+# including the parallel VP-tree build), the corpus snapshot builder plus
+# its LRU cache, and the ANN engine's parallel embed/build plus its
+# shared-index concurrent Queriers.
 check-race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/par ./internal/eval ./internal/search ./internal/kernel ./internal/embedding ./internal/elastic ./internal/lockstep ./internal/profile ./internal/index ./internal/subsequence ./internal/corpus
+	GOMAXPROCS=4 $(GO) test -race ./internal/par ./internal/eval ./internal/search ./internal/kernel ./internal/embedding ./internal/elastic ./internal/lockstep ./internal/profile ./internal/index ./internal/subsequence ./internal/corpus ./internal/ann
 
 # Differential oracle harness under the race detector: every measure
 # against its reference implementation plus both search engines against
@@ -48,6 +50,7 @@ bench:
 	$(GO) test -bench BenchmarkHotloops -count=3 -benchmem ./internal/elastic ./internal/lockstep | $(GO) run ./cmd/benchjson -o BENCH_hotloops.json
 	$(GO) test -bench BenchmarkProfile -count=3 -benchmem ./internal/profile | $(GO) run ./cmd/benchjson -o BENCH_profile.json
 	$(GO) test -bench BenchmarkSnapshot -count=3 -benchmem ./internal/corpus | $(GO) run ./cmd/benchjson -o BENCH_snapshot.json
+	$(GO) test -bench BenchmarkANN -benchtime 10x -count=3 -benchmem ./internal/ann | $(GO) run ./cmd/benchjson -o BENCH_index.json
 
 # Re-measure every committed BENCH_* baseline and fail (benchstat-style)
 # when any benchmark's ns/op regressed by more than 35%. Run after changes
@@ -71,6 +74,8 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare -old BENCH_profile.json -new /tmp/bench_new_profile.json -threshold 35
 	$(GO) test -bench BenchmarkSnapshot -count=3 -benchmem ./internal/corpus | $(GO) run ./cmd/benchjson -o /tmp/bench_new_snapshot.json
 	$(GO) run ./cmd/benchcompare -old BENCH_snapshot.json -new /tmp/bench_new_snapshot.json -threshold 35
+	$(GO) test -bench BenchmarkANN -benchtime 10x -count=3 -benchmem ./internal/ann | $(GO) run ./cmd/benchjson -o /tmp/bench_new_index.json
+	$(GO) run ./cmd/benchcompare -old BENCH_index.json -new /tmp/bench_new_index.json -threshold 35
 
 # Regenerate the golden experiment outputs after an intentional change to
 # a measure, engine, or renderer; commit the resulting diff.

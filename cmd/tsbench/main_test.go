@@ -59,7 +59,7 @@ func TestRegistryCoversAllArtifacts(t *testing.T) {
 		"table2", "table3", "table4", "table5", "table6", "table7",
 		"figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "figure10", "svm", "pruning",
-		"tuning", "spectral", "hotloops", "profile", "snapshot",
+		"tuning", "spectral", "hotloops", "profile", "snapshot", "index",
 	}
 	names := run.Default.Names()
 	have := map[string]bool{}

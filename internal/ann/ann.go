@@ -1,0 +1,409 @@
+// Package ann implements approximate nearest-neighbor retrieval with the
+// GRAIL embed–index–rerank pipeline: a GRAIL embedder is fitted once on
+// landmark series drawn from the corpus, every corpus series is
+// transformed into a short Euclidean representation, the representations
+// are indexed in a k-NN-capable VP-tree, and each query retrieves the
+// top-c candidates in embedding space before re-ranking them with the
+// exact measure through the pruned cascade (lower bounds, early
+// abandoning, prepared states). The candidate budget c is the recall
+// knob: c = n degenerates to an exact scan, small c trades recall for
+// throughput. When the budget covers the corpus the engine skips the
+// tree entirely and runs the exact pruned scan — the lower-bound
+// fallback — so results are never worse than exact search on corpora too
+// small to benefit from approximation.
+//
+// The package sits below internal/corpus (snapshots own a fitted Index
+// per measure) and internal/search (OneNNApprox/KNNApprox drive Queriers
+// in parallel); it must not import either.
+package ann
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/index"
+	"repro/internal/lockstep"
+	"repro/internal/measure"
+	"repro/internal/par"
+)
+
+// Neighbor re-exports the index package's k-NN result type: a reference
+// index and its sanitized distance.
+type Neighbor = index.Neighbor
+
+// Default knobs: DefaultDim keeps the representation short enough that a
+// tree descent plus c re-ranks beats a linear exact scan by a wide
+// margin while preserving 1-NN structure; DefaultGamma matches the SINK
+// configuration of embedding.All.
+const (
+	DefaultDim   = 64
+	DefaultGamma = 5
+)
+
+// Config parameterizes an ANN index.
+type Config struct {
+	// Dim is the GRAIL representation length (0 means DefaultDim). The
+	// effective dimension never exceeds the corpus size.
+	Dim int
+	// Gamma is the SINK kernel parameter of the embedder (0 means
+	// DefaultGamma).
+	Gamma float64
+	// Candidates is the re-rank budget c: how many embedding-space
+	// neighbors are verified with the exact measure per query. 0 selects
+	// the adaptive default max(32, n/16), which keeps recall high on small
+	// corpora (where it covers everything and triggers the exact
+	// fallback) while bounding re-rank cost at scale. Budgets >= n always
+	// run the exact fallback scan.
+	Candidates int
+	// Seed drives landmark sampling and tree construction.
+	Seed int64
+}
+
+func (c Config) dim() int {
+	if c.Dim > 0 {
+		return c.Dim
+	}
+	return DefaultDim
+}
+
+func (c Config) gamma() float64 {
+	if c.Gamma != 0 {
+		return c.Gamma
+	}
+	return DefaultGamma
+}
+
+// candidates resolves the effective budget for a corpus of n series.
+func (c Config) candidates(n int) int {
+	if c.Candidates > 0 {
+		return c.Candidates
+	}
+	b := n / 16
+	if b < 32 {
+		b = 32
+	}
+	return b
+}
+
+// Stats reports the work done by one approximate query.
+type Stats struct {
+	// EmbedDist counts Euclidean distance evaluations in embedding space
+	// (the VP-tree descent).
+	EmbedDist int
+	// Exact counts exact measure evaluations during re-rank (or the
+	// fallback scan).
+	Exact int
+	// LBPruned counts candidates rejected by the lower-bound cascade
+	// without an exact computation.
+	LBPruned int
+	// Fallback reports that the query ran the exact lower-bound scan over
+	// the whole corpus (budget >= n): the result is exact, recall 1.
+	Fallback bool
+}
+
+// ExactState carries per-reference prepared state adopted from a corpus
+// snapshot so the index shares rather than recomputes it: Bounds[i] is a
+// filled bound context for reference i (nil slice when the measure is
+// not LowerBounded), Prep[i] its prepared state (nil slice when not
+// Stateful).
+type ExactState struct {
+	Bounds []measure.BoundContext
+	Prep   []any
+}
+
+// Index is a fitted embed–index–rerank structure over one corpus and one
+// exact measure. It is immutable after construction and safe for
+// concurrent use through per-goroutine Queriers.
+type Index struct {
+	m    measure.Measure
+	refs [][]float64
+	cfg  Config
+
+	embedder *embedding.GRAIL
+	reps     [][]float64
+	tree     *index.VPTree
+
+	// Optional exact fast paths, resolved once.
+	lb       measure.LowerBounded
+	ea       measure.EarlyAbandoning
+	stateful measure.Stateful
+	bounds   []measure.BoundContext // per-ref, when lb != nil
+	prep     []any                  // per-ref, when stateful != nil
+}
+
+// Build constructs the index; see BuildCtx.
+func Build(refs [][]float64, m measure.Measure, cfg Config) *Index {
+	ix, err := BuildCtx(context.Background(), refs, m, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("ann: Build: impossible error %v", err))
+	}
+	return ix
+}
+
+// BuildCtx fits the GRAIL embedder on the corpus, transforms every
+// series in parallel, and indexes the representations; ctx is observed
+// by the fit, the transform fan-out, and the tree build. An empty corpus
+// builds an empty index whose searches return no neighbors.
+func BuildCtx(ctx context.Context, refs [][]float64, m measure.Measure, cfg Config) (*Index, error) {
+	return BuildPreparedCtx(ctx, refs, m, cfg, ExactState{})
+}
+
+// BuildPreparedCtx is BuildCtx adopting already-computed exact state
+// (bound contexts, prepared states) from a corpus snapshot instead of
+// rebuilding it. Either slice may be nil; a non-nil slice must have one
+// entry per reference.
+func BuildPreparedCtx(ctx context.Context, refs [][]float64, m measure.Measure, cfg Config, st ExactState) (*Index, error) {
+	ix := &Index{m: m, refs: refs, cfg: cfg}
+	ix.lb, _ = m.(measure.LowerBounded)
+	ix.ea, _ = m.(measure.EarlyAbandoning)
+	ix.stateful, _ = m.(measure.Stateful)
+	if len(refs) == 0 {
+		return ix, nil
+	}
+	if st.Bounds != nil && len(st.Bounds) != len(refs) {
+		panic(fmt.Sprintf("ann: %d adopted bound contexts for %d series", len(st.Bounds), len(refs)))
+	}
+	if st.Prep != nil && len(st.Prep) != len(refs) {
+		panic(fmt.Sprintf("ann: %d adopted prepared states for %d series", len(st.Prep), len(refs)))
+	}
+
+	dim := cfg.dim()
+	if dim > len(refs) {
+		dim = len(refs)
+	}
+	ix.embedder = &embedding.GRAIL{Gamma: cfg.gamma(), Dim: dim, Seed: cfg.Seed}
+	if err := ix.embedder.FitCtx(ctx, refs); err != nil {
+		return nil, err
+	}
+	ix.reps = make([][]float64, len(refs))
+	if err := par.ForCtx(ctx, len(refs), par.Workers(len(refs)), func(i int) {
+		ix.reps[i] = ix.embedder.Transform(refs[i])
+	}); err != nil {
+		return nil, err
+	}
+	tree, err := index.NewVPTreeCtx(ctx, ix.reps, lockstep.Euclidean(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ix.tree = tree
+
+	// Exact re-rank state: adopt the snapshot's when provided, otherwise
+	// build it here (in parallel — bound fills and preparations are
+	// independent per series).
+	if ix.lb != nil {
+		if st.Bounds != nil {
+			ix.bounds = st.Bounds
+		} else {
+			ix.bounds = make([]measure.BoundContext, len(refs))
+			if err := par.ForCtx(ctx, len(refs), par.Workers(len(refs)), func(i int) {
+				c := ix.lb.NewBoundContext(len(refs[i]))
+				c.Fill(refs[i])
+				ix.bounds[i] = c
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if ix.stateful != nil {
+		if st.Prep != nil {
+			ix.prep = st.Prep
+		} else {
+			ix.prep = make([]any, len(refs))
+			if err := par.ForCtx(ctx, len(refs), par.Workers(len(refs)), func(i int) {
+				ix.prep[i] = ix.stateful.Prepare(refs[i])
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ix, nil
+}
+
+// Size returns the number of indexed series.
+func (ix *Index) Size() int { return len(ix.refs) }
+
+// Measure returns the exact measure candidates are re-ranked with.
+func (ix *Index) Measure() measure.Measure { return ix.m }
+
+// Candidates returns the effective per-query candidate budget.
+func (ix *Index) Candidates() int { return ix.cfg.candidates(len(ix.refs)) }
+
+// Transform maps a query into the index's embedding space.
+func (ix *Index) Transform(q []float64) []float64 { return ix.embedder.Transform(q) }
+
+// Querier runs approximate queries against one Index. It owns mutable
+// per-query scratch (the query-side bound context), so each goroutine
+// needs its own; Queriers are cheap to create.
+type Querier struct {
+	ix *Index
+	cq measure.BoundContext
+}
+
+// NewQuerier returns a query handle for concurrent use.
+func (ix *Index) NewQuerier() *Querier {
+	qr := &Querier{ix: ix}
+	if ix.lb != nil && len(ix.refs) > 0 {
+		qr.cq = ix.lb.NewBoundContext(len(ix.refs[0]))
+	}
+	return qr
+}
+
+// OneNN returns the approximate nearest neighbor of q: the best of the
+// top-c embedding-space candidates under the exact measure, or the exact
+// neighbor when the budget covers the corpus. It returns (-1, +Inf) on
+// an empty index.
+func (qr *Querier) OneNN(q []float64) (best int, dist float64, stats Stats) {
+	nbs, stats := qr.KNN(q, 1)
+	if len(nbs) == 0 {
+		return -1, math.Inf(1), stats
+	}
+	return nbs[0].Index, nbs[0].Dist, stats
+}
+
+// KNN returns the approximate k nearest neighbors of q sorted ascending
+// by (exact distance, index). All k results are exact distances; only
+// the candidate set is approximate. Fewer than k neighbors are returned
+// only when the index holds fewer than k series.
+func (qr *Querier) KNN(q []float64, k int) ([]index.Neighbor, Stats) {
+	ix := qr.ix
+	var stats Stats
+	n := len(ix.refs)
+	if k <= 0 || n == 0 {
+		return nil, stats
+	}
+	if k > n {
+		k = n
+	}
+	c := ix.Candidates()
+	if c < k {
+		c = k
+	}
+	if c >= n || ix.tree == nil {
+		// Exact lower-bound fallback: the budget covers the corpus, so
+		// skip the embedding round-trip and run the pruned exact scan.
+		stats.Fallback = true
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return qr.rerank(q, all, k, &stats), stats
+	}
+	cands, embedDist := ix.tree.KNN(ix.embedder.Transform(q), c)
+	stats.EmbedDist = embedDist
+	order := make([]int, len(cands))
+	for i, nb := range cands {
+		order[i] = nb.Index
+	}
+	return qr.rerank(q, order, k, &stats), stats
+}
+
+// rerank computes exact distances for the candidate indices (in the
+// given order — embedding-space-ascending, so the cutoff tightens fast)
+// and returns the best k by (distance, index). The cascade per
+// candidate: lower bound against the current kth-best cutoff, then
+// early-abandoning exact distance, then prepared or plain exact.
+func (qr *Querier) rerank(q []float64, cands []int, k int, stats *Stats) []index.Neighbor {
+	ix := qr.ix
+	var pq any
+	if ix.stateful != nil {
+		pq = ix.stateful.Prepare(q)
+	}
+	if qr.cq != nil {
+		qr.cq.Fill(q)
+	}
+	h := make(annHeap, 0, k)
+	for _, i := range cands {
+		cutoff := h.cutoff(k)
+		if ix.lb != nil && ix.bounds != nil && cutoff < math.Inf(1) {
+			if lb := ix.lb.LowerBound(q, ix.refs[i], qr.cq, ix.bounds[i], cutoff); lb >= cutoff {
+				stats.LBPruned++
+				continue
+			}
+		}
+		var d float64
+		switch {
+		case ix.ea != nil && cutoff < math.Inf(1):
+			d = ix.ea.DistanceUpTo(q, ix.refs[i], cutoff)
+			stats.Exact++
+			if !(d < cutoff) {
+				// DistanceUpTo only certifies d >= cutoff here, not the
+				// exact value; the candidate cannot improve the heap, and
+				// offering a possibly-abandoned value would corrupt a tie.
+				continue
+			}
+		case pq != nil:
+			d = ix.stateful.PreparedDistance(pq, ix.prep[i])
+			stats.Exact++
+		default:
+			d = ix.m.Distance(q, ix.refs[i])
+			stats.Exact++
+		}
+		h.offer(index.Neighbor{Index: i, Dist: measure.Sanitize(d)}, k)
+	}
+	out := []index.Neighbor(h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// annHeap is the same bounded max-heap shape as the VP-tree's: worst
+// retained neighbor at the root, (Dist, Index) total order.
+type annHeap []index.Neighbor
+
+func (h annHeap) worse(a, b index.Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Index > b.Index
+}
+
+func (h *annHeap) offer(nb index.Neighbor, k int) {
+	if len(*h) < k {
+		*h = append(*h, nb)
+		for i := len(*h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !h.worse((*h)[i], (*h)[p]) {
+				break
+			}
+			(*h)[i], (*h)[p] = (*h)[p], (*h)[i]
+			i = p
+		}
+		return
+	}
+	if !h.worse((*h)[0], nb) {
+		return
+	}
+	(*h)[0] = nb
+	n := len(*h)
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && h.worse((*h)[l], (*h)[worst]) {
+			worst = l
+		}
+		if r < n && h.worse((*h)[r], (*h)[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		(*h)[i], (*h)[worst] = (*h)[worst], (*h)[i]
+		i = worst
+	}
+}
+
+// cutoff is the re-rank pruning threshold: the kth-best exact distance
+// so far, +Inf until k candidates have been verified.
+func (h annHeap) cutoff(k int) float64 {
+	if len(h) == k {
+		return h[0].Dist
+	}
+	return math.Inf(1)
+}

@@ -30,6 +30,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/ann"
 	"repro/internal/index"
 	"repro/internal/measure"
 	"repro/internal/par"
@@ -104,6 +105,17 @@ type SAXSpec struct {
 	Alphabet int
 }
 
+// ANNSpec selects one approximate retrieval index to build into the
+// snapshot: the exact re-rank measure and the embed–index–rerank
+// configuration. The builder hands the measure's already-materialized
+// bound contexts and prepared states (when the measure also appears in
+// Options.Measures) to the ANN build, so the exact-side state is shared
+// rather than recomputed.
+type ANNSpec struct {
+	Measure measure.Measure
+	Config  ann.Config
+}
+
 // Options configures a snapshot build: which measures' prepared states to
 // materialize and which index representations to precompute. The zero
 // value builds only the fingerprint and finiteness flags.
@@ -120,6 +132,10 @@ type Options struct {
 	PAASegments []int
 	// SAX lists SAX vocabularies to precompute per series.
 	SAX []SAXSpec
+	// ANN lists approximate indexes to build (GRAIL fit + parallel
+	// transform + VP-tree over the representations). Duplicate measure
+	// names build once.
+	ANN []ANNSpec
 }
 
 // coreFamily is one GridStateful preparation family: the representative
@@ -166,6 +182,7 @@ type Snapshot struct {
 	shares []sharedPrep                      // verbatim-sharable Prepare outputs
 	paa    map[int][][]float64               // segments -> per-series PAA words
 	sax    map[SAXSpec][][]int               // spec -> per-series SAX words
+	annIdx map[string]*ann.Index             // measure name -> approximate index
 
 	hitPrepared atomic.Int64
 	hitBounds   atomic.Int64
@@ -191,6 +208,7 @@ func BuildCtx(ctx context.Context, series [][]float64, opts Options) (*Snapshot,
 		bounds: map[string][]measure.BoundContext{},
 		paa:    map[int][][]float64{},
 		sax:    map[SAXSpec][][]int{},
+		annIdx: map[string]*ann.Index{},
 	}
 	s.fp = FingerprintOf(series)
 	s.finite = make([]bool, n)
@@ -286,6 +304,22 @@ func BuildCtx(ctx context.Context, series [][]float64, opts Options) (*Snapshot,
 			return nil, err
 		}
 		s.sax[spec] = words
+	}
+
+	// ANN indexes build last so they can adopt the exact-side state the
+	// measure loop above just materialized (bound contexts, prepared
+	// states) instead of recomputing it.
+	for _, spec := range opts.ANN {
+		name := spec.Measure.Name()
+		if _, ok := s.annIdx[name]; ok {
+			continue
+		}
+		st := ann.ExactState{Bounds: s.bounds[name], Prep: s.prep[name]}
+		ix, err := ann.BuildPreparedCtx(ctx, series, spec.Measure, spec.Config, st)
+		if err != nil {
+			return nil, err
+		}
+		s.annIdx[name] = ix
 	}
 	return s, nil
 }
@@ -447,6 +481,16 @@ func (s *Snapshot) GridCores(m measure.Measure) []any {
 		}
 	}
 	return nil
+}
+
+// ANNIndex returns the snapshot's approximate retrieval index for m, or
+// nil when none was requested at build time. The index is immutable;
+// callers query it through per-goroutine ann.Queriers.
+func (s *Snapshot) ANNIndex(m measure.Measure) *ann.Index {
+	if s == nil {
+		return nil
+	}
+	return s.annIdx[m.Name()]
 }
 
 // PAA returns the precomputed PAA words at the given resolution, or nil.

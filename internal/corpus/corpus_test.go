@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/ann"
 	"repro/internal/corpus"
 	"repro/internal/elastic"
 	"repro/internal/index"
@@ -274,5 +275,56 @@ func TestHitCounters(t *testing.T) {
 	h := s.Hits()
 	if h.Prepared != int64(len(series)) || h.Bounds != int64(len(series)) || h.Cores != int64(len(series)) {
 		t.Fatalf("hits = %+v, want %d per section", h, len(series))
+	}
+}
+
+// TestSnapshotANNIndex covers the approximate-index section: the snapshot
+// builds one ann.Index per requested measure, shares the exact-side state
+// it already materialized, and ANNIndex answers by measure name with nil
+// for measures never requested.
+func TestSnapshotANNIndex(t *testing.T) {
+	series := testSeries(21, 48, 64)
+	dtw := elastic.DTW{DeltaPercent: 10}
+	snap := corpus.Build(series, corpus.Options{
+		Measures: []measure.Measure{dtw},
+		ANN: []corpus.ANNSpec{
+			{Measure: dtw, Config: ann.Config{Candidates: 8, Seed: 1}},
+			{Measure: dtw, Config: ann.Config{Candidates: 8, Seed: 1}}, // duplicate builds once
+		},
+	})
+	ix := snap.ANNIndex(dtw)
+	if ix == nil {
+		t.Fatal("ANNIndex returned nil for a requested measure")
+	}
+	if snap.ANNIndex(kernel.SINK{Gamma: 5}) != nil {
+		t.Fatal("ANNIndex returned an index for a measure never requested")
+	}
+	if ix.Size() != len(series) {
+		t.Fatalf("index size %d, want %d", ix.Size(), len(series))
+	}
+	// The snapshot-built index must answer identically to a standalone
+	// build over the same corpus and config.
+	own := ann.Build(series, dtw, ann.Config{Candidates: 8, Seed: 1})
+	qa, qb := ix.NewQuerier(), own.NewQuerier()
+	for trial := 0; trial < 6; trial++ {
+		q := series[trial*7]
+		ba, da, _ := qa.OneNN(q)
+		bb, db, _ := qb.OneNN(q)
+		if ba != bb || da != db {
+			t.Fatalf("snapshot ANN diverges from standalone: (%d, %g) vs (%d, %g)", ba, da, bb, db)
+		}
+	}
+}
+
+// TestSnapshotANNCancelled checks a cancelled context aborts the ANN
+// section like every other snapshot section.
+func TestSnapshotANNCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := corpus.BuildCtx(ctx, testSeries(22, 32, 32), corpus.Options{
+		ANN: []corpus.ANNSpec{{Measure: elastic.DTW{DeltaPercent: 10}}},
+	})
+	if err == nil {
+		t.Fatal("cancelled ANN snapshot build returned nil error")
 	}
 }

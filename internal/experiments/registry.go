@@ -93,4 +93,6 @@ func init() {
 		ProfileExperimentCtx, RenderProfile)
 	register("snapshot", "per-request preparation vs build-once corpus snapshots and LRU",
 		SnapshotAblationCtx, RenderSnapshot)
+	register("index", "GRAIL ANN embed-index-rerank vs exact search engines",
+		IndexExperimentCtx, RenderIndex)
 }

@@ -183,14 +183,6 @@ func TestEDIndexPanics(t *testing.T) {
 	func() {
 		defer func() {
 			if recover() == nil {
-				t.Error("expected panic for empty refs")
-			}
-		}()
-		NewEDIndex(nil, 4)
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
 				t.Error("expected panic for ragged refs")
 			}
 		}()
@@ -280,11 +272,53 @@ func TestVPTreeSingleElement(t *testing.T) {
 	}
 }
 
-func TestVPTreeEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewVPTree(nil, lockstep.Euclidean(), 1)
+// TestIndexDegenerateCorpora pins the unified degenerate-input behavior of
+// every index constructor: an empty corpus builds a valid empty index whose
+// searches return (-1, +Inf) without panicking — the contract NewISAX
+// always had — and a one-series corpus returns that series.
+func TestIndexDegenerateCorpora(t *testing.T) {
+	ed := lockstep.Euclidean()
+	q := []float64{1, 2, 3, 4}
+
+	// Empty corpora.
+	tree := NewVPTree(nil, ed, 1)
+	if best, d, computed := tree.NN(q); best != -1 || !math.IsInf(d, 1) || computed != 0 {
+		t.Fatalf("empty VPTree NN = (%d, %g, %d), want (-1, +Inf, 0)", best, d, computed)
+	}
+	if nbs, _ := tree.KNN(q, 3); len(nbs) != 0 {
+		t.Fatalf("empty VPTree KNN returned %d neighbors", len(nbs))
+	}
+	if tree.Size() != 0 {
+		t.Fatalf("empty VPTree size = %d", tree.Size())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("empty VPTree invalid: %v", err)
+	}
+	eix := NewEDIndex(nil, 4)
+	if best, d, _ := eix.NN(q); best != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("empty EDIndex NN = (%d, %g), want (-1, +Inf)", best, d)
+	}
+	isax := NewISAX(4, 2, 4)
+	if best, d, verified := isax.NN(q); best != -1 || !math.IsInf(d, 1) || verified != 0 {
+		t.Fatalf("empty iSAX NN = (%d, %g, %d), want (-1, +Inf, 0)", best, d, verified)
+	}
+
+	// One-series corpora.
+	one := [][]float64{{1, 2, 3, 5}}
+	tree = NewVPTree(one, ed, 1)
+	if best, d, _ := tree.NN(q); best != 0 || math.Abs(d-1) > 1e-12 {
+		t.Fatalf("len-1 VPTree NN = (%d, %g), want (0, 1)", best, d)
+	}
+	if nbs, _ := tree.KNN(q, 5); len(nbs) != 1 || nbs[0].Index != 0 {
+		t.Fatalf("len-1 VPTree KNN = %v, want one neighbor of index 0", nbs)
+	}
+	eix = NewEDIndex(one, 2)
+	if best, _, _ := eix.NN(q); best != 0 {
+		t.Fatalf("len-1 EDIndex NN = %d, want 0", best)
+	}
+	isax = NewISAX(4, 2, 4)
+	isax.Insert(one[0])
+	if best, _, _ := isax.NN(q); best != 0 {
+		t.Fatalf("len-1 iSAX NN = %d, want 0", best)
+	}
 }

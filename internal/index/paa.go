@@ -99,10 +99,12 @@ type EDIndex struct {
 }
 
 // NewEDIndex builds the index over the reference series (all of equal
-// length) with the given PAA resolution.
+// length) with the given PAA resolution. Empty refs build an empty index
+// whose searches return (-1, +Inf) — matching the other index
+// constructors' degenerate-input behavior.
 func NewEDIndex(refs [][]float64, segments int) *EDIndex {
 	if len(refs) == 0 {
-		panic("index: no reference series")
+		return &EDIndex{segments: segments}
 	}
 	m := len(refs[0])
 	idx := &EDIndex{series: refs, segments: segments, m: m}
@@ -122,7 +124,7 @@ func NewEDIndex(refs [][]float64, segments int) *EDIndex {
 // here; a mismatched word silently corrupts the lower bound.
 func NewEDIndexWithPAA(refs [][]float64, paa [][]float64, segments int) *EDIndex {
 	if len(refs) == 0 {
-		panic("index: no reference series")
+		return &EDIndex{segments: segments}
 	}
 	if len(paa) != len(refs) {
 		panic(fmt.Sprintf("index: %d PAA words for %d series", len(paa), len(refs)))
@@ -150,6 +152,9 @@ type Stats struct {
 // the query, plus search statistics. Results are exact: the lower-bound
 // ordering plus the stopping rule never discards the true neighbor.
 func (ix *EDIndex) NN(q []float64) (best int, dist float64, stats Stats) {
+	if len(ix.series) == 0 {
+		return -1, math.Inf(1), stats
+	}
 	if len(q) != ix.m {
 		panic(fmt.Sprintf("index: query length %d, want %d", len(q), ix.m))
 	}

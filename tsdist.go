@@ -28,6 +28,7 @@
 package repro
 
 import (
+	"repro/internal/ann"
 	"repro/internal/dataset"
 	"repro/internal/elastic"
 	"repro/internal/embedding"
@@ -581,6 +582,45 @@ type VPTree = index.VPTree
 // measure.
 func NewVPTree(refs [][]float64, m Measure, seed int64) *VPTree {
 	return index.NewVPTree(refs, m, seed)
+}
+
+// Neighbor is one k-NN result: a reference index and its sanitized
+// distance (NaN mapped to +Inf so undefined pairs rank last).
+type Neighbor = index.Neighbor
+
+// ANNConfig parameterizes the approximate retrieval engine: embedding
+// dimension, SINK gamma, the candidate budget (the recall knob; 0 =
+// adaptive default, >= corpus size = exact fallback), and the seed.
+type ANNConfig = ann.Config
+
+// ANNIndex is a fitted GRAIL embed-index-rerank structure: corpus series
+// are embedded once and indexed in a k-NN VP-tree; queries re-rank the
+// top-c embedding-space candidates with the exact measure. Immutable and
+// safe for concurrent use through per-goroutine Queriers.
+type ANNIndex = ann.Index
+
+// BuildANN fits the embedder on refs and builds the approximate index
+// for queries under m.
+func BuildANN(refs [][]float64, m Measure, cfg ANNConfig) *ANNIndex {
+	return ann.Build(refs, m, cfg)
+}
+
+// ApproxResult is the outcome of an approximate search: per-query
+// nearest indices with exact distances, plus work counters.
+type ApproxResult = search.ApproxResult
+
+// OneNNApprox answers every query with its approximate nearest reference
+// under m: only the candidate set is approximate, reported distances are
+// exact, and candidate budgets covering the corpus make the result
+// identical to exact search.
+func OneNNApprox(m Measure, queries, refs [][]float64, cfg ANNConfig) ApproxResult {
+	return search.OneNNApprox(m, queries, refs, cfg)
+}
+
+// KNNApprox answers every query with its approximate k nearest
+// references, sorted by (exact distance, index).
+func KNNApprox(m Measure, queries, refs [][]float64, k int, cfg ANNConfig) ApproxResult {
+	return search.KNNApprox(m, queries, refs, k, cfg)
 }
 
 // SAX is the symbolic aggregate approximation scheme with its MINDIST
