@@ -21,10 +21,11 @@ race: check-race
 # scheduler plus the batched panel kernels, the STOMP matrix-profile
 # engine's block dispatch, the subsequence layer, the index builders (now
 # including the parallel VP-tree build), the corpus snapshot builder plus
-# its LRU cache, and the ANN engine's parallel embed/build plus its
-# shared-index concurrent Queriers.
+# its LRU cache, the ANN engine's parallel embed/build plus its
+# shared-index concurrent Queriers, and the multivariate layer's parallel
+# 1-NN classifier plus its shared row/channel scratch pools.
 check-race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/par ./internal/eval ./internal/search ./internal/kernel ./internal/embedding ./internal/elastic ./internal/lockstep ./internal/profile ./internal/index ./internal/subsequence ./internal/corpus ./internal/ann
+	GOMAXPROCS=4 $(GO) test -race ./internal/par ./internal/eval ./internal/search ./internal/kernel ./internal/embedding ./internal/elastic ./internal/lockstep ./internal/profile ./internal/index ./internal/subsequence ./internal/corpus ./internal/ann ./internal/multivariate
 
 # Differential oracle harness under the race detector: every measure
 # against its reference implementation plus both search engines against
@@ -51,6 +52,7 @@ bench:
 	$(GO) test -bench BenchmarkProfile -count=3 -benchmem ./internal/profile | $(GO) run ./cmd/benchjson -o BENCH_profile.json
 	$(GO) test -bench BenchmarkSnapshot -count=3 -benchmem ./internal/corpus | $(GO) run ./cmd/benchjson -o BENCH_snapshot.json
 	$(GO) test -bench BenchmarkANN -benchtime 10x -count=3 -benchmem ./internal/ann | $(GO) run ./cmd/benchjson -o BENCH_index.json
+	$(GO) test -bench BenchmarkMultivariate -count=3 -benchmem ./internal/multivariate | $(GO) run ./cmd/benchjson -o BENCH_multivariate.json
 
 # Re-measure every committed BENCH_* baseline and fail (benchstat-style)
 # when any benchmark's ns/op regressed by more than 35%. Run after changes
@@ -76,6 +78,8 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare -old BENCH_snapshot.json -new /tmp/bench_new_snapshot.json -threshold 35
 	$(GO) test -bench BenchmarkANN -benchtime 10x -count=3 -benchmem ./internal/ann | $(GO) run ./cmd/benchjson -o /tmp/bench_new_index.json
 	$(GO) run ./cmd/benchcompare -old BENCH_index.json -new /tmp/bench_new_index.json -threshold 35
+	$(GO) test -bench BenchmarkMultivariate -count=3 -benchmem ./internal/multivariate | $(GO) run ./cmd/benchjson -o /tmp/bench_new_multivariate.json
+	$(GO) run ./cmd/benchcompare -old BENCH_multivariate.json -new /tmp/bench_new_multivariate.json -threshold 35
 
 # Regenerate the golden experiment outputs after an intentional change to
 # a measure, engine, or renderer; commit the resulting diff.

@@ -60,6 +60,7 @@ func TestRegistryCoversAllArtifacts(t *testing.T) {
 		"figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
 		"figure7", "figure8", "figure9", "figure10", "svm", "pruning",
 		"tuning", "spectral", "hotloops", "profile", "snapshot", "index",
+		"multivariate",
 	}
 	names := run.Default.Names()
 	have := map[string]bool{}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/multivariate"
+)
+
+func TestReadMVTSVWideLayout(t *testing.T) {
+	in := "1\t2\t0.5\t1.5\t2.5\t3.5\n" + // 2 channels, 2 time points
+		"2\t2\tNaN\t1\t\t2\t3\t4\n" // missing samples, 3 time points (ragged)
+	series, labels, err := ReadMVTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || labels[0] != 1 || labels[1] != 2 {
+		t.Fatalf("series=%d labels=%v", len(series), labels)
+	}
+	if len(series[0]) != 2 || series[0].Channels() != 2 {
+		t.Fatalf("series 0 shape %dx%d", len(series[0]), series[0].Channels())
+	}
+	if series[0][1][0] != 2.5 || series[0][1][1] != 3.5 {
+		t.Fatalf("series 0 = %v", series[0])
+	}
+	if len(series[1]) != 3 {
+		t.Fatalf("ragged series length %d, want 3", len(series[1]))
+	}
+	if !math.IsNaN(series[1][0][0]) || !math.IsNaN(series[1][1][0]) || series[1][1][1] != 2 {
+		t.Fatalf("missing markers misplaced: %v", series[1])
+	}
+}
+
+func TestReadMVTSVRejectsBadRows(t *testing.T) {
+	cases := []string{
+		"1\t2\t0.5\t1.5\t2.5\n",       // 3 values, 2 channels
+		"1\t0\t0.5\n",                 // zero channels
+		"1\t2\t1\t2\n2\t3\t1\t2\t3\n", // rows disagree on channel count
+		"1\n",                         // no channel count
+		"1\t2\tfoo\tbar\n",            // unparseable value
+	}
+	for _, in := range cases {
+		if _, _, err := ReadMVTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted bad input %q", in)
+		}
+	}
+}
+
+func TestMVTSVRoundTrip(t *testing.T) {
+	series := []multivariate.Series{
+		{{1, -2.5}, {math.NaN(), 3}, {0.25, math.Inf(1)}},
+		{{4, 5}},
+	}
+	labels := []int{3, 1}
+	var b strings.Builder
+	if err := WriteMVTSV(&b, series, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, gotLabels, err := ReadMVTSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || gotLabels[0] != 3 || gotLabels[1] != 1 {
+		t.Fatalf("round trip: %d series, labels %v", len(got), gotLabels)
+	}
+	for i := range series {
+		for tt := range series[i] {
+			for c := range series[i][tt] {
+				a, b := series[i][tt][c], got[i][tt][c]
+				if math.Float64bits(a) != math.Float64bits(b) && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("series %d [%d][%d]: wrote %v read %v", i, tt, c, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMVUCRLayoutRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := multivariate.Generate(multivariate.GenConfig{
+		Name: "MVRT", Length: 16, Channels: 2, NumClasses: 2,
+		TrainSize: 4, TestSize: 2, Seed: 3, NoiseSigma: 0.1,
+		MissingFrac: 0.2,
+	})
+	if err := SaveMVUCR(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMVUCR(dir, "MVRT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Train) != 4 || len(got.Test) != 2 {
+		t.Fatalf("split sizes %d/%d", len(got.Train), len(got.Test))
+	}
+	for i := range d.Train {
+		for tt := range d.Train[i] {
+			for c := range d.Train[i][tt] {
+				a, b := d.Train[i][tt][c], got.Train[i][tt][c]
+				if math.Float64bits(a) != math.Float64bits(b) && !(math.IsNaN(a) && math.IsNaN(b)) {
+					t.Fatalf("train %d [%d][%d]: %v != %v", i, tt, c, a, b)
+				}
+			}
+		}
+	}
+}

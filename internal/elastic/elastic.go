@@ -16,17 +16,21 @@ import (
 	"repro/internal/measure"
 )
 
-// rowScratch pools the two DP rows shared by the scalar elastic
+// RowScratch pools the two DP rows shared by the scalar elastic
 // recurrences (LCSS, EDR, ERP, MSM, TWE, Swale), so warm Distance calls
 // are allocation-free like DTW's dtwPool path. Contents are unspecified on
-// Get; every recurrence fully initializes the cells it reads.
-type rowScratch struct{ prev, cur []float64 }
+// Get; every recurrence fully initializes the cells it reads. The type is
+// exported through BorrowRows/Release so other DP layers (the multivariate
+// dependent recurrences) share the same pool instead of growing their own.
+type RowScratch struct{ prev, cur []float64 }
 
-var rowPool = sync.Pool{New: func() any { return new(rowScratch) }}
+var rowPool = sync.Pool{New: func() any { return new(RowScratch) }}
 
-// getRows returns a pooled scratch holder and its two rows resized to n.
-func getRows(n int) (*rowScratch, []float64, []float64) {
-	s := rowPool.Get().(*rowScratch)
+// BorrowRows returns a pooled scratch holder and its two rows resized to
+// n. The rows arrive dirty; callers must initialize every cell they read
+// and hand the (possibly swapped) rows back via Release.
+func BorrowRows(n int) (*RowScratch, []float64, []float64) {
+	s := rowPool.Get().(*RowScratch)
 	if cap(s.prev) < n {
 		s.prev = make([]float64, n)
 		s.cur = make([]float64, n)
@@ -34,11 +38,18 @@ func getRows(n int) (*rowScratch, []float64, []float64) {
 	return s, s.prev[:n], s.cur[:n]
 }
 
-// release returns the (possibly swapped) rows to the pool.
-func (s *rowScratch) release(prev, cur []float64) {
+// Release returns the rows to the pool. Two-row DPs swap prev and cur as
+// they advance, so the final slices are passed back rather than assumed.
+func (s *RowScratch) Release(prev, cur []float64) {
 	s.prev, s.cur = prev, cur
 	rowPool.Put(s)
 }
+
+// getRows and release are the package-internal spellings, kept so the
+// recurrences in this file read unchanged.
+func getRows(n int) (*RowScratch, []float64, []float64) { return BorrowRows(n) }
+
+func (s *RowScratch) release(prev, cur []float64) { s.Release(prev, cur) }
 
 // windowSize converts a Sakoe-Chiba window expressed as a percentage of the
 // series length (the paper's convention: delta = 10 means 10% of m;

@@ -95,4 +95,6 @@ func init() {
 		SnapshotAblationCtx, RenderSnapshot)
 	register("index", "GRAIL ANN embed-index-rerank vs exact search engines",
 		IndexExperimentCtx, RenderIndex)
+	register("multivariate", "dependent vs independent vs masked measures on multivariate panels",
+		MultivariateExperimentCtx, RenderMultivariate)
 }

@@ -33,13 +33,20 @@ type GenConfig struct {
 	NoiseSigma float64 // per-channel additive noise
 	WarpFrac   float64 // strength of the shared smooth warping
 	PhaseShift bool    // random per-instance phase offset
+
+	// MissingFrac in [0, 1) marks that fraction of samples missing (NaN),
+	// drawn independently per (series, time, channel) from a dedicated rng
+	// stream so the underlying clean panel is identical across missingness
+	// levels with the same Seed.
+	MissingFrac float64
 }
 
 // Generate builds the dataset deterministically; every series is
 // per-channel z-normalized. It panics on invalid configurations.
 func Generate(cfg GenConfig) *Dataset {
 	if cfg.Length < 8 || cfg.Channels < 1 || cfg.NumClasses < 2 ||
-		cfg.TrainSize < cfg.NumClasses || cfg.TestSize < 1 {
+		cfg.TrainSize < cfg.NumClasses || cfg.TestSize < 1 ||
+		cfg.MissingFrac < 0 || cfg.MissingFrac >= 1 {
 		panic(fmt.Sprintf("multivariate: invalid config %+v", cfg))
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -97,5 +104,23 @@ func Generate(cfg GenConfig) *Dataset {
 	d := &Dataset{Name: cfg.Name}
 	d.Train, d.TrainLabels = gen(cfg.TrainSize)
 	d.Test, d.TestLabels = gen(cfg.TestSize)
+	if cfg.MissingFrac > 0 {
+		// A separate stream keeps the clean values bit-identical across
+		// missingness levels for the same Seed.
+		mrng := rand.New(rand.NewSource(cfg.Seed ^ 0x4d495353))
+		inject := func(set []Series) {
+			for _, s := range set {
+				for t := range s {
+					for c := range s[t] {
+						if mrng.Float64() < cfg.MissingFrac {
+							s[t][c] = math.NaN()
+						}
+					}
+				}
+			}
+		}
+		inject(d.Train)
+		inject(d.Test)
+	}
 	return d
 }

@@ -1,0 +1,111 @@
+package multivariate
+
+// NaN-masked lock-step measures for panels with missing samples. NaN marks
+// a missing observation (Inf is an observed — if extreme — value); a time
+// point contributes to a channel only when BOTH series observe it. Each
+// channel's accumulated cost over its valid pairs is rescaled by n/valid
+// (valid-pair normalization: the missing pairs are assumed to contribute
+// the observed mean cost), finished per the base metric (sqrt for
+// Euclidean), and channels whose valid-pair fraction falls below
+// MinSupport are dropped entirely — a mostly-missing channel is noise, not
+// signal. The result is the mean over supported channels, +Inf when no
+// channel reaches minimum support. On fully observed data at one channel
+// the masked measures are bitwise the univariate lock-step distances (the
+// rescale is ×1.0 and the channel mean divides by one, both exact).
+
+import (
+	"fmt"
+	"math"
+)
+
+type maskedKind int
+
+const (
+	maskedEuclideanKind maskedKind = iota
+	maskedManhattanKind
+)
+
+// Masked is a NaN-masked lock-step measure. Construct via MaskedEuclidean
+// or MaskedManhattan; the zero value is a masked Euclidean with zero
+// minimum support.
+type Masked struct {
+	kind maskedKind
+	// MinSupport is the minimum fraction of valid (both-observed) pairs a
+	// channel needs to participate, in [0, 1]. Regardless of MinSupport, a
+	// channel with zero valid pairs is always dropped (its cost is
+	// undefined).
+	MinSupport float64
+}
+
+// MaskedEuclidean returns the NaN-masked vector Euclidean distance with
+// the given per-channel minimum-support fraction.
+func MaskedEuclidean(minSupport float64) Masked {
+	return Masked{kind: maskedEuclideanKind, MinSupport: minSupport}
+}
+
+// MaskedManhattan returns the NaN-masked per-channel Manhattan distance
+// with the given per-channel minimum-support fraction.
+func MaskedManhattan(minSupport float64) Masked {
+	return Masked{kind: maskedManhattanKind, MinSupport: minSupport}
+}
+
+// Name implements Measure.
+func (m Masked) Name() string {
+	base := "mv-masked-euclidean"
+	if m.kind == maskedManhattanKind {
+		base = "mv-masked-manhattan"
+	}
+	return fmt.Sprintf("%s[s=%g]", base, m.MinSupport)
+}
+
+// Symmetric reports bitwise symmetry: the mask and every per-pair cost are
+// symmetric in x and y.
+func (m Masked) Symmetric() bool { return true }
+
+// Distance implements Measure.
+func (m Masked) Distance(x, y Series) float64 {
+	d := checkLockstep(x, y)
+	if !(m.MinSupport >= 0 && m.MinSupport <= 1) {
+		panic(fmt.Sprintf("multivariate: MinSupport %g outside [0, 1]", m.MinSupport))
+	}
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	minValid := int(math.Ceil(m.MinSupport * float64(n)))
+	if minValid < 1 {
+		minValid = 1
+	}
+	var total float64
+	supported := 0
+	for c := 0; c < d; c++ {
+		var sum float64
+		valid := 0
+		for t := 0; t < n; t++ {
+			a, b := x[t][c], y[t][c]
+			if math.IsNaN(a) || math.IsNaN(b) {
+				continue
+			}
+			valid++
+			if m.kind == maskedManhattanKind {
+				sum += math.Abs(a - b)
+			} else {
+				diff := a - b
+				sum += diff * diff
+			}
+		}
+		if valid < minValid {
+			continue
+		}
+		sum *= float64(n) / float64(valid)
+		if m.kind == maskedEuclideanKind {
+			sum = math.Sqrt(sum)
+		}
+		total += sum
+		supported++
+	}
+	if supported == 0 {
+		return math.Inf(1)
+	}
+	return total / float64(supported)
+}

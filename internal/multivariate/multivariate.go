@@ -1,18 +1,30 @@
-// Package multivariate extends the core distance measures to multivariate
-// time series, the extension footnote 1 of the paper leaves as future
-// work. A multivariate series is a [time][channel] matrix; the package
-// provides the two standard generalizations of elastic measures —
-// dependent (one warping path over vector-valued points) and independent
-// (one warping path per channel, costs summed) — plus the vector
-// lock-step Euclidean distance and a 1-NN helper.
+// Package multivariate promotes the core distance measures to a
+// first-class multivariate measure axis, the extension footnote 1 of the
+// paper leaves as future work. A multivariate series is a [time][channel]
+// matrix; the package provides the two standard generalizations of the
+// elastic measures — dependent (one warping path over vector-valued
+// points) and independent (one warping path per channel, costs summed) —
+// plus vector lock-step distances, NaN-masked lock-step measures with
+// valid-pair normalization and a per-channel minimum-support rule,
+// differentiable soft-DTW with the self-distance normalization trick, and
+// parallel cancellable 1-NN evaluation.
+//
+// Contracts mirror internal/measure: Measure is the base Name/Distance
+// pair, EarlyAbandoning adds the certified-lower-bound DistanceUpTo route,
+// and ContextMeasure the cancellation-aware DistanceCtx route. Dependent
+// elastic measures and soft-DTW accept unequal-length pairs (an m-by-n DP,
+// exactly like their univariate definitions); lock-step, masked, and
+// independent-lift measures require equal lengths and panic otherwise,
+// matching the univariate convention. Every measure panics on a channel
+// mismatch. At one channel, every plain (unmasked) measure reproduces its
+// univariate counterpart bitwise — the oracle harness pins this.
 package multivariate
 
 import (
+	"context"
 	"fmt"
 	"math"
-
-	"repro/internal/elastic"
-	"repro/internal/measure"
+	"sync"
 )
 
 // Series is a multivariate time series: Series[t][c] is channel c at time
@@ -44,13 +56,21 @@ func (s Series) Channels() int {
 	return len(s[0])
 }
 
-// Channel extracts one channel as a univariate series.
+// Channel extracts one channel as a freshly allocated univariate series.
+// Hot loops use ChannelInto with a pooled buffer instead.
 func (s Series) Channel(c int) []float64 {
-	out := make([]float64, len(s))
+	return s.ChannelInto(c, make([]float64, len(s)))
+}
+
+// ChannelInto extracts channel c into dst, which must have length >=
+// len(s), and returns dst[:len(s)]. It is the allocation-free spelling of
+// Channel for pooled buffers.
+func (s Series) ChannelInto(c int, dst []float64) []float64 {
+	dst = dst[:len(s)]
 	for t, row := range s {
-		out[t] = row[c]
+		dst[t] = row[c]
 	}
-	return out
+	return dst
 }
 
 // ZNormalize z-scores every channel independently, the standard
@@ -87,15 +107,46 @@ func (s Series) ZNormalize() Series {
 	return out
 }
 
-// Measure is a dissimilarity over multivariate series.
+// Measure is a dissimilarity over multivariate series, mirroring
+// measure.Measure: smaller means more similar, NaN is treated as +Inf by
+// the evaluation layer.
 type Measure interface {
+	// Name returns a stable identifier used in tables and registries
+	// (e.g. "mv-dtw-d[d=10]").
 	Name() string
+	// Distance returns the dissimilarity of x and y.
 	Distance(x, y Series) float64
 }
 
-func checkPair(x, y Series) int {
-	if len(x) != len(y) {
-		panic(fmt.Sprintf("multivariate: length mismatch %d vs %d", len(x), len(y)))
+// EarlyAbandoning is the optional best-so-far-aware route, mirroring
+// measure.EarlyAbandoning: DistanceUpTo returns Distance(x, y) exactly
+// whenever that value is < cutoff, and otherwise any certified lower bound
+// v with cutoff <= v <= Distance(x, y).
+type EarlyAbandoning interface {
+	Measure
+	DistanceUpTo(x, y Series, cutoff float64) float64
+}
+
+// ContextMeasure is the optional cancellation-aware route, mirroring
+// measure.ContextMeasure: an uncancelled call returns exactly
+// Distance(x, y); a cancelled call either surfaces ctx.Err() or still
+// returns the exact value.
+type ContextMeasure interface {
+	Measure
+	DistanceCtx(ctx context.Context, x, y Series) (float64, error)
+}
+
+// checkChannels panics when the two series disagree on channel count —
+// every multivariate measure rejects that — and returns the shared count.
+// An empty series carries no channel count and is compatible with any
+// counterpart. Lengths are deliberately not checked here: the dependent
+// elastic measures run an m-by-n DP over unequal-length pairs.
+func checkChannels(x, y Series) int {
+	if len(x) == 0 {
+		return y.Channels()
+	}
+	if len(y) == 0 {
+		return x.Channels()
 	}
 	if x.Channels() != y.Channels() {
 		panic(fmt.Sprintf("multivariate: channel mismatch %d vs %d", x.Channels(), y.Channels()))
@@ -103,8 +154,41 @@ func checkPair(x, y Series) int {
 	return x.Channels()
 }
 
+// checkLockstep is checkChannels plus the equal-length requirement of the
+// lock-step measures, matching measure.CheckSameLength's panic convention.
+func checkLockstep(x, y Series) int {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("multivariate: series length mismatch %d vs %d", len(x), len(y)))
+	}
+	return checkChannels(x, y)
+}
+
+// chanScratch pools two univariate channel buffers so the independent
+// lifts extract channels without per-call allocation, the same pattern as
+// the elastic row pool.
+type chanScratch struct{ a, b []float64 }
+
+var chanPool = sync.Pool{New: func() any { return new(chanScratch) }}
+
+// borrowChannels returns a pooled scratch holder and two buffers with
+// capacity for na and nb samples. Contents are unspecified; ChannelInto
+// overwrites every cell.
+func borrowChannels(na, nb int) (*chanScratch, []float64, []float64) {
+	s := chanPool.Get().(*chanScratch)
+	if cap(s.a) < na {
+		s.a = make([]float64, na)
+	}
+	if cap(s.b) < nb {
+		s.b = make([]float64, nb)
+	}
+	return s, s.a[:na], s.b[:nb]
+}
+
+func (s *chanScratch) release() { chanPool.Put(s) }
+
 // Euclidean is the vector lock-step distance: the square root of the
-// summed squared vector differences.
+// summed squared vector differences. At one channel it is bitwise the
+// univariate Euclidean distance (the accumulation order matches).
 type Euclidean struct{}
 
 // Name implements Measure.
@@ -112,7 +196,7 @@ func (Euclidean) Name() string { return "mv-euclidean" }
 
 // Distance implements Measure.
 func (Euclidean) Distance(x, y Series) float64 {
-	checkPair(x, y)
+	checkLockstep(x, y)
 	var s float64
 	for t := range x {
 		for c := range x[t] {
@@ -123,136 +207,22 @@ func (Euclidean) Distance(x, y Series) float64 {
 	return math.Sqrt(s)
 }
 
-// DTWDependent is multivariate DTW with a single warping path over
-// vector-valued points (DTW-D): the point cost is the squared Euclidean
-// distance between the two d-dimensional samples. DeltaPercent is the
-// Sakoe-Chiba band, as in the univariate DTW.
-type DTWDependent struct {
-	DeltaPercent int
-}
-
-// Name implements Measure.
-func (d DTWDependent) Name() string { return fmt.Sprintf("mv-dtw-d[d=%d]", d.DeltaPercent) }
-
-// Distance implements Measure.
-func (d DTWDependent) Distance(x, y Series) float64 {
-	checkPair(x, y)
-	m := len(x)
-	if m == 0 {
-		return 0
-	}
-	w := m
-	if d.DeltaPercent < 100 {
-		w = d.DeltaPercent * m / 100
-		if w < 1 {
-			w = 1
-		}
-	}
-	inf := math.Inf(1)
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
-	for j := range prev {
-		prev[j] = inf
-	}
-	prev[0] = 0
-	for i := 1; i <= m; i++ {
-		for j := range cur {
-			cur[j] = inf
-		}
-		lo := i - w
-		if lo < 1 {
-			lo = 1
-		}
-		hi := i + w
-		if hi > m {
-			hi = m
-		}
-		for j := lo; j <= hi; j++ {
-			var c float64
-			xi, yj := x[i-1], y[j-1]
-			for k := range xi {
-				diff := xi[k] - yj[k]
-				c += diff * diff
-			}
-			best := prev[j-1]
-			if prev[j] < best {
-				best = prev[j]
-			}
-			if cur[j-1] < best {
-				best = cur[j-1]
-			}
-			cur[j] = c + best
-		}
-		prev, cur = cur, prev
-	}
-	return prev[m]
-}
-
-// DTWIndependent is multivariate DTW with one warping path per channel
-// (DTW-I): the sum of univariate DTW distances over the channels.
-type DTWIndependent struct {
-	DeltaPercent int
-}
-
-// Name implements Measure.
-func (d DTWIndependent) Name() string { return fmt.Sprintf("mv-dtw-i[d=%d]", d.DeltaPercent) }
-
-// Distance implements Measure.
-func (d DTWIndependent) Distance(x, y Series) float64 {
-	nch := checkPair(x, y)
-	uni := elastic.DTW{DeltaPercent: d.DeltaPercent}
+// DistanceUpTo implements EarlyAbandoning: the partial sum is monotone, so
+// once sqrt(partial) would reach cutoff the partial root is a certified
+// lower bound. Comparison happens in squared space to avoid a sqrt per
+// sample.
+func (Euclidean) DistanceUpTo(x, y Series, cutoff float64) float64 {
+	checkLockstep(x, y)
+	sq := cutoff * cutoff
 	var s float64
-	for c := 0; c < nch; c++ {
-		s += uni.Distance(x.Channel(c), y.Channel(c))
-	}
-	return s
-}
-
-// Independent lifts any univariate measure to multivariate series by
-// summing it over the channels (the "independent" construction).
-type Independent struct {
-	Base measure.Measure
-}
-
-// Name implements Measure.
-func (i Independent) Name() string { return "mv-indep(" + i.Base.Name() + ")" }
-
-// Distance implements Measure.
-func (i Independent) Distance(x, y Series) float64 {
-	nch := checkPair(x, y)
-	var s float64
-	for c := 0; c < nch; c++ {
-		s += i.Base.Distance(x.Channel(c), y.Channel(c))
-	}
-	return s
-}
-
-// OneNN classifies each test series by its nearest training series under
-// the measure and returns the accuracy, mirroring the univariate
-// Algorithm 1.
-func OneNN(m Measure, train []Series, trainLabels []int, test []Series, testLabels []int) float64 {
-	if len(train) != len(trainLabels) || len(test) != len(testLabels) {
-		panic("multivariate: series/label count mismatch")
-	}
-	if len(test) == 0 {
-		return 0
-	}
-	correct := 0
-	for i, q := range test {
-		best := -1
-		bestD := math.Inf(1)
-		for j, r := range train {
-			d := m.Distance(q, r)
-			if math.IsNaN(d) {
-				d = math.Inf(1)
-			}
-			if best == -1 || d < bestD {
-				best, bestD = j, d
-			}
+	for t := range x {
+		for c := range x[t] {
+			d := x[t][c] - y[t][c]
+			s += d * d
 		}
-		if trainLabels[best] == testLabels[i] {
-			correct++
+		if s >= sq {
+			return math.Sqrt(s)
 		}
 	}
-	return float64(correct) / float64(len(test))
+	return math.Sqrt(s)
 }

@@ -166,7 +166,7 @@ func TestIndependentLiftsUnivariateMeasure(t *testing.T) {
 	if got := ind.Distance(x, y); math.Abs(got-want) > 1e-9 {
 		t.Fatalf("Independent = %g, want %g", got, want)
 	}
-	if ind.Name() != "mv-indep(manhattan)" {
+	if ind.Name() != "mv-indep[manhattan]" {
 		t.Fatalf("name = %s", ind.Name())
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package multivariate
+
+// raceEnabled mirrors the race detector state for tests.
+const raceEnabled = false

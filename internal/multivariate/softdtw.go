@@ -1,0 +1,122 @@
+package multivariate
+
+// Soft-DTW: the differentiable relaxation of DTW where the hard min over
+// path predecessors is replaced by a soft-min with temperature Gamma
+// (Cuturi & Blondel). The raw value is not a pseudometric — sdtw(x, x) is
+// generally negative — so the Normalize option applies the self-distance
+// trick d(x, y) = |sdtw(x, y) - (sdtw(x, x) + sdtw(y, y))/2|, which is
+// zero on identical series and symmetric by construction.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/elastic"
+)
+
+// SoftDTW is multivariate soft-DTW over vector-valued points with squared
+// Euclidean point costs and the full (unbanded) m-by-n DP; unequal lengths
+// are supported. Gamma must be > 0. With Normalize set, Distance returns
+// the self-distance-normalized value (three DPs per call).
+type SoftDTW struct {
+	Gamma     float64
+	Normalize bool
+}
+
+// Name implements Measure.
+func (s SoftDTW) Name() string {
+	if s.Normalize {
+		return fmt.Sprintf("mv-sdtw-n[g=%g]", s.Gamma)
+	}
+	return fmt.Sprintf("mv-sdtw[g=%g]", s.Gamma)
+}
+
+// softMin3 is the numerically stabilized soft minimum
+// -gamma*log(sum exp(-v/gamma)): the true min is factored out so the
+// exponent arguments are <= 0. An all-+Inf operand set stays +Inf.
+func softMin3(a, b, c, gamma float64) float64 {
+	mn := a
+	if b < mn {
+		mn = b
+	}
+	if c < mn {
+		mn = c
+	}
+	if math.IsInf(mn, 1) {
+		return mn
+	}
+	sum := math.Exp((mn-a)/gamma) + math.Exp((mn-b)/gamma) + math.Exp((mn-c)/gamma)
+	return mn - gamma*math.Log(sum)
+}
+
+// Distance implements Measure.
+func (s SoftDTW) Distance(x, y Series) float64 {
+	v, _ := s.distanceErr(nil, x, y)
+	return v
+}
+
+// DistanceCtx implements ContextMeasure.
+func (s SoftDTW) DistanceCtx(ctx context.Context, x, y Series) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return s.distanceErr(ctx, x, y)
+}
+
+func (s SoftDTW) distanceErr(ctx context.Context, x, y Series) (float64, error) {
+	checkChannels(x, y)
+	if !(s.Gamma > 0) {
+		panic(fmt.Sprintf("multivariate: soft-DTW gamma %g must be > 0", s.Gamma))
+	}
+	if !s.Normalize {
+		return s.raw(ctx, x, y)
+	}
+	xy, err := s.raw(ctx, x, y)
+	if err != nil {
+		return 0, err
+	}
+	xx, err := s.raw(ctx, x, x)
+	if err != nil {
+		return 0, err
+	}
+	yy, err := s.raw(ctx, y, y)
+	if err != nil {
+		return 0, err
+	}
+	return math.Abs(xy - 0.5*(xx+yy)), nil
+}
+
+func (s SoftDTW) raw(ctx context.Context, x, y Series) (float64, error) {
+	m, n := len(x), len(y)
+	if m == 0 && n == 0 {
+		return 0, nil
+	}
+	if m == 0 || n == 0 {
+		return math.Inf(1), nil
+	}
+	inf := math.Inf(1)
+	sc, prev, cur := elastic.BorrowRows(n + 1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= m; i++ {
+		if ctx != nil && i%ctxCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				sc.Release(prev, cur)
+				return 0, err
+			}
+		}
+		cur[0] = inf
+		xi := x[i-1]
+		for j := 1; j <= n; j++ {
+			cost := sqDist(xi, y[j-1])
+			cur[j] = cost + softMin3(prev[j-1], prev[j], cur[j-1], s.Gamma)
+		}
+		prev, cur = cur, prev
+	}
+	res := prev[n]
+	sc.Release(prev, cur)
+	return res, nil
+}

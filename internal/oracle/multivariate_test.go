@@ -1,0 +1,105 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/multivariate"
+)
+
+// TestOracleMultivariateFuzz drives the multivariate differential harness:
+// dependent/independent/masked/soft measures against full-matrix reference
+// DPs over the NaN/Inf/ragged corpus, plus the d=1 bitwise reduction to
+// the univariate measures.
+func TestOracleMultivariateFuzz(t *testing.T) {
+	for _, seed := range fuzzSeeds(t) {
+		r := FuzzMV(seed)
+		if len(r.Discrepancies) > 0 {
+			t.Errorf("seed %d:\n%s", seed, r)
+		} else {
+			t.Logf("seed %d: multivariate harness passed %d checks", seed, r.Checks)
+		}
+	}
+}
+
+// TestOracleMaskedHandComputed pins the masked lock-step semantics on
+// hand-computed panels: valid-pair rescaling, the min-support drop rule,
+// and the no-supported-channel fallback.
+func TestOracleMaskedHandComputed(t *testing.T) {
+	nan := math.NaN()
+	x := multivariate.Series{{1, 10}, {2, nan}, {3, 30}, {4, 40}}
+	y := multivariate.Series{{1, 10}, {4, 20}, {nan, 30}, {4, 44}}
+	// Channel 0: valid pairs t=0,1,3 -> |1-1|+|2-4|+|4-4| = 2, rescaled by
+	// 4/3. Channel 1: valid pairs t=0,2,3 -> 0+0+4 = 4, rescaled by 4/3.
+	wantManhattan := (2.0*4/3 + 4.0*4/3) / 2
+	if got := multivariate.MaskedManhattan(0).Distance(x, y); math.Abs(got-wantManhattan) > 1e-12 {
+		t.Errorf("masked manhattan = %v, want %v", got, wantManhattan)
+	}
+	// Euclidean: channel 0 sum 0+4+0=4 -> sqrt(4*4/3); channel 1 sum
+	// 0+0+16=16 -> sqrt(16*4/3).
+	wantEuclidean := (math.Sqrt(4.0*4/3) + math.Sqrt(16.0*4/3)) / 2
+	if got := multivariate.MaskedEuclidean(0).Distance(x, y); math.Abs(got-wantEuclidean) > 1e-12 {
+		t.Errorf("masked euclidean = %v, want %v", got, wantEuclidean)
+	}
+	// Min-support 0.9 requires ceil(0.9*4)=4 valid pairs: both channels
+	// have 3, so nothing survives.
+	if got := multivariate.MaskedEuclidean(0.9).Distance(x, y); !math.IsInf(got, 1) {
+		t.Errorf("masked euclidean s=0.9 = %v, want +Inf", got)
+	}
+	// Min-support 0.75 keeps both channels (3 >= ceil(0.75*4)=3).
+	if got := multivariate.MaskedManhattan(0.75).Distance(x, y); math.Abs(got-wantManhattan) > 1e-12 {
+		t.Errorf("masked manhattan s=0.75 = %v, want %v", got, wantManhattan)
+	}
+	// A fully missing channel is dropped even at zero min-support.
+	z := multivariate.Series{{nan, 1}, {nan, 2}}
+	w := multivariate.Series{{nan, 1}, {5, 2}}
+	if got := multivariate.MaskedManhattan(0).Distance(z, w); got != 0 {
+		t.Errorf("fully-missing channel not dropped: %v", got)
+	}
+}
+
+// TestOracleMVDependentUnequalLengths pins the m-by-n band: dependent
+// measures accept ragged pairs and agree with the full-matrix references.
+func TestOracleMVDependentUnequalLengths(t *testing.T) {
+	x := multivariate.Series{{0, 1}, {1, 0}, {2, -1}, {3, 1}, {2, 2}}
+	y := multivariate.Series{{0, 1}, {2, -1}, {2, 2}}
+	cases := []struct {
+		m   multivariate.Measure
+		ref MVRef
+	}{
+		{multivariate.DTWDependent{DeltaPercent: 10}, refMVDTW(10)},
+		{multivariate.DTWDependent{DeltaPercent: 100}, refMVDTW(100)},
+		{multivariate.ERPDependent{G: 0}, refMVERP(0)},
+		{multivariate.MSMDependent{C: 0.5}, refMVMSM(0.5)},
+	}
+	for _, c := range cases {
+		got := c.m.Distance(x, y)
+		want := c.ref(x, y)
+		if !agree(got, want, TolExact) {
+			t.Errorf("%s ragged: optimized %v reference %v", c.m.Name(), got, want)
+		}
+		if rev := c.m.Distance(y, x); !sameValue(got, rev) {
+			t.Errorf("%s ragged not symmetric: %v vs %v", c.m.Name(), got, rev)
+		}
+	}
+}
+
+// TestOracleSoftDTWProperties pins the soft-DTW conventions: the raw value
+// approaches hard DTW as gamma shrinks, and the normalized form is zero on
+// identical series and positive off them.
+func TestOracleSoftDTWProperties(t *testing.T) {
+	x := multivariate.Series{{0, 0}, {1, 1}, {2, 0}, {1, -1}}
+	y := multivariate.Series{{0, 1}, {1, 0}, {3, 0}, {1, -2}}
+	hard := multivariate.DTWDependent{DeltaPercent: 100}.Distance(x, y)
+	soft := multivariate.SoftDTW{Gamma: 1e-3}.Distance(x, y)
+	if math.Abs(hard-soft) > 1e-2*math.Max(1, hard) {
+		t.Errorf("soft-DTW gamma->0 %v far from hard DTW %v", soft, hard)
+	}
+	norm := multivariate.SoftDTW{Gamma: 0.5, Normalize: true}
+	if d := norm.Distance(x, x); d != 0 {
+		t.Errorf("normalized self-distance = %v, want 0", d)
+	}
+	if d := norm.Distance(x, y); d <= 0 {
+		t.Errorf("normalized cross-distance = %v, want > 0", d)
+	}
+}

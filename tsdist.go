@@ -28,6 +28,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/ann"
 	"repro/internal/dataset"
 	"repro/internal/elastic"
@@ -678,9 +680,41 @@ func MVDTWIndependent(deltaPercent int) MVMeasure {
 // summing it over channels.
 func MVIndependent(base Measure) MVMeasure { return multivariate.Independent{Base: base} }
 
-// MVOneNN runs the 1-NN evaluation over multivariate splits.
+// MVERPDependent returns multivariate ERP with one warping path over
+// vector points (L1 point and gap costs); unequal lengths are supported.
+func MVERPDependent(g float64) MVMeasure { return multivariate.ERPDependent{G: g} }
+
+// MVMSMDependent returns multivariate Move-Split-Merge with one warping
+// path over vector points; unequal lengths are supported.
+func MVMSMDependent(c float64) MVMeasure { return multivariate.MSMDependent{C: c} }
+
+// MVMaskedEuclidean returns the NaN-masked vector Euclidean distance with
+// valid-pair normalization and the given per-channel minimum-support
+// fraction (NaN marks a missing sample).
+func MVMaskedEuclidean(minSupport float64) MVMeasure { return multivariate.MaskedEuclidean(minSupport) }
+
+// MVMaskedManhattan returns the NaN-masked per-channel Manhattan distance
+// with valid-pair normalization and the given minimum-support fraction.
+func MVMaskedManhattan(minSupport float64) MVMeasure { return multivariate.MaskedManhattan(minSupport) }
+
+// MVSoftDTW returns multivariate soft-DTW with temperature gamma; with
+// normalize set, distances are self-distance normalized so identical
+// series score zero.
+func MVSoftDTW(gamma float64, normalize bool) MVMeasure {
+	return multivariate.SoftDTW{Gamma: gamma, Normalize: normalize}
+}
+
+// MVOneNN runs the 1-NN evaluation over multivariate splits. An empty
+// train set predicts no labels (accuracy 0) rather than panicking.
 func MVOneNN(m MVMeasure, train []MVSeries, trainLabels []int, test []MVSeries, testLabels []int) float64 {
 	return multivariate.OneNN(m, train, trainLabels, test, testLabels)
+}
+
+// MVClassify finds each test series' nearest train series under m, in
+// parallel with cooperative cancellation. An empty train set yields
+// (-1, +Inf) per query.
+func MVClassify(ctx context.Context, m MVMeasure, train, test []MVSeries) ([]int, []float64, error) {
+	return multivariate.Classify(ctx, m, train, test)
 }
 
 //
